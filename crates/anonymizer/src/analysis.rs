@@ -1,0 +1,211 @@
+//! Quantifying what a cloaked region is worth.
+//!
+//! The paper argues the quality requirement informally: "an adversary can
+//! only know that the exact user location could be equally likely anywhere
+//! within the cloaked region" (Section 4). This module turns that into
+//! numbers a deployment can monitor per user:
+//!
+//! * **k-anonymity entropy** — `log2(k')` bits of identity uncertainty;
+//! * **location entropy** — `log2(A' / A_ref)` bits of position
+//!   uncertainty relative to a reference resolution (e.g. one lowest-level
+//!   cell: how many cells' worth of space the user hides in);
+//! * **expected guess error** — the adversary's best strategy against a
+//!   uniform distribution is to guess the region's centroid; this is her
+//!   expected distance error, i.e. how far off the best possible stalker
+//!   ends up on average.
+
+use casper_geometry::{Point, Rect};
+use casper_grid::CloakedRegion;
+
+/// Privacy metrics of one cloaked region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyReport {
+    /// Users sharing the region (`k'`).
+    pub k_anonymity: u32,
+    /// Region area (fraction of the space).
+    pub area: f64,
+    /// `log2(k')`: identity uncertainty in bits.
+    pub identity_entropy_bits: f64,
+    /// `log2(area / reference_area)`: position uncertainty in bits
+    /// relative to the reference resolution.
+    pub location_entropy_bits: f64,
+    /// Expected distance between the true position and the adversary's
+    /// optimal (centroid) guess, assuming uniformity.
+    pub expected_guess_error: f64,
+}
+
+/// Expected distance from a uniformly distributed point in `region` to
+/// the region's centroid, computed by a deterministic midpoint rule
+/// (`64 x 64` panels — error well below 1e-4 of the diagonal).
+pub fn expected_centroid_distance(region: &Rect) -> f64 {
+    let c = region.center();
+    let (w, h) = (region.width(), region.height());
+    if w <= 0.0 && h <= 0.0 {
+        return 0.0;
+    }
+    const N: usize = 64;
+    let mut acc = 0.0;
+    for iy in 0..N {
+        for ix in 0..N {
+            let p = Point::new(
+                region.min.x + (ix as f64 + 0.5) * w / N as f64,
+                region.min.y + (iy as f64 + 0.5) * h / N as f64,
+            );
+            acc += p.dist(c);
+        }
+    }
+    acc / (N * N) as f64
+}
+
+/// The exposure an adversary gains by *linking* successive cloaked
+/// regions of one user (e.g. via timing correlation, despite the
+/// single-use pseudonyms): if the user cannot have moved more than
+/// `max_step` between updates, each region can be intersected with the
+/// previous region dilated by `max_step`. Returns the effective area the
+/// adversary can narrow the user to after each update.
+///
+/// Casper's defence is the pyramid granularity: as long as consecutive
+/// regions coincide (the user stayed in her cell) the intersection is the
+/// full region, so nothing is gained; the numbers here quantify the decay
+/// when regions differ. Deployments can monitor this and coarsen profiles
+/// for users whose linked exposure drops below a floor.
+pub fn linked_exposure(regions: &[Rect], max_step: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(regions.len());
+    let mut knowledge: Option<Rect> = None;
+    for r in regions {
+        let narrowed = match knowledge {
+            None => *r,
+            Some(prev) => prev
+                .expand_uniform(max_step.max(0.0))
+                .intersection(r)
+                .unwrap_or(*r),
+        };
+        out.push(narrowed.area());
+        knowledge = Some(narrowed);
+    }
+    out
+}
+
+/// Analyses a cloaked region against a reference resolution
+/// (`reference_area` is typically one lowest-level pyramid cell).
+pub fn analyze(region: &CloakedRegion, reference_area: f64) -> PrivacyReport {
+    let area = region.area();
+    PrivacyReport {
+        k_anonymity: region.user_count,
+        area,
+        identity_entropy_bits: (region.user_count.max(1) as f64).log2(),
+        location_entropy_bits: (area / reference_area.max(f64::MIN_POSITIVE))
+            .max(1.0)
+            .log2(),
+        expected_guess_error: expected_centroid_distance(&region.rect),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casper_grid::CellId;
+
+    fn region_of(rect: Rect, users: u32) -> CloakedRegion {
+        CloakedRegion {
+            rect,
+            cells: vec![CellId::ROOT],
+            user_count: users,
+            level: 0,
+            levels_climbed: 0,
+        }
+    }
+
+    #[test]
+    fn unit_square_guess_error_matches_closed_form() {
+        // Mean distance from a uniform point in the unit square to its
+        // centre: (sqrt(2) + ln(1 + sqrt(2))) / 6 ≈ 0.38260.
+        let expected = (2f64.sqrt() + (1.0 + 2f64.sqrt()).ln()) / 6.0;
+        let got = expected_centroid_distance(&Rect::unit());
+        assert!((got - expected).abs() < 1e-4, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn guess_error_scales_linearly_with_side() {
+        let small = expected_centroid_distance(&Rect::from_coords(0.0, 0.0, 0.1, 0.1));
+        let large = expected_centroid_distance(&Rect::from_coords(0.0, 0.0, 0.2, 0.2));
+        assert!((large / small - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_region_has_zero_error() {
+        assert_eq!(
+            expected_centroid_distance(&Rect::point(Point::new(0.3, 0.7))),
+            0.0
+        );
+    }
+
+    #[test]
+    fn entropies_grow_with_k_and_area() {
+        let cell = 1.0 / 65_536.0; // lowest cell of a 9-level pyramid
+        let weak = analyze(&region_of(Rect::from_coords(0.0, 0.0, 0.01, 0.01), 2), cell);
+        let strong = analyze(&region_of(Rect::from_coords(0.0, 0.0, 0.2, 0.2), 64), cell);
+        assert!(strong.identity_entropy_bits > weak.identity_entropy_bits);
+        assert!(strong.location_entropy_bits > weak.location_entropy_bits);
+        assert!(strong.expected_guess_error > weak.expected_guess_error);
+        assert!((strong.identity_entropy_bits - 6.0).abs() < 1e-12); // log2(64)
+    }
+
+    #[test]
+    fn linked_exposure_stable_regions_give_nothing_away() {
+        // The user stays in her cell: every region is identical, so the
+        // adversary never narrows below the full region area.
+        let r = Rect::from_coords(0.25, 0.25, 0.5, 0.5);
+        let exposure = linked_exposure(&[r, r, r, r], 0.01);
+        for &a in &exposure {
+            assert!((a - r.area()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn linked_exposure_narrows_on_region_changes() {
+        // Two half-overlapping regions with a small movement bound: the
+        // adversary narrows the user to roughly the overlap.
+        let r1 = Rect::from_coords(0.0, 0.0, 0.2, 0.2);
+        let r2 = Rect::from_coords(0.1, 0.0, 0.3, 0.2);
+        let exposure = linked_exposure(&[r1, r2], 0.01);
+        assert!((exposure[0] - r1.area()).abs() < 1e-12);
+        assert!(exposure[1] < r2.area(), "linking must narrow the region");
+        // But never below the (dilated) true overlap.
+        assert!(exposure[1] >= r1.overlap_area(&r2));
+    }
+
+    #[test]
+    fn linked_exposure_disjoint_regions_reset_knowledge() {
+        // A teleport-sized jump: intersection is empty, so the adversary
+        // falls back to the fresh region (no stale knowledge carry-over).
+        let r1 = Rect::from_coords(0.0, 0.0, 0.1, 0.1);
+        let r2 = Rect::from_coords(0.8, 0.8, 0.9, 0.9);
+        let exposure = linked_exposure(&[r1, r2], 0.01);
+        assert!((exposure[1] - r2.area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linked_exposure_respects_movement_bound() {
+        // A generous movement bound keeps the dilated previous region
+        // covering the new one: nothing is gained.
+        let r1 = Rect::from_coords(0.4, 0.4, 0.5, 0.5);
+        let r2 = Rect::from_coords(0.45, 0.4, 0.55, 0.5);
+        let exposure = linked_exposure(&[r1, r2], 1.0);
+        assert!((exposure[1] - r2.area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn location_entropy_floors_at_zero() {
+        // A region no bigger than the reference cell provides no extra
+        // positional uncertainty.
+        let cell = 0.01;
+        let r = analyze(&region_of(Rect::from_coords(0.0, 0.0, 0.05, 0.05), 1), cell);
+        assert!(r.location_entropy_bits >= 0.0);
+        let tiny = analyze(
+            &region_of(Rect::from_coords(0.0, 0.0, 0.001, 0.001), 1),
+            cell,
+        );
+        assert_eq!(tiny.location_entropy_bits, 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! The Casper **location anonymizer** (Sections 3–4): the trusted third
+//! party between mobile users and the location-based database server.
+//!
+//! Responsibilities (Figure 1):
+//!
+//! 1. receive exact location updates `(uid, x, y)` and per-user privacy
+//!    profiles `(k, A_min)`;
+//! 2. blur each location into a cloaked spatial region matching the
+//!    profile (Algorithm 1, over a [`casper_grid::CompletePyramid`] or
+//!    [`casper_grid::AdaptivePyramid`]);
+//! 3. strip user identities, replacing them with unlinkable pseudonyms,
+//!    before anything leaves for the untrusted server;
+//! 4. blur *query* locations the same way and route candidate-list answers
+//!    back to the real user.
+//!
+//! The generic [`Anonymizer`] service works over either pyramid; the
+//! aliases [`BasicAnonymizer`] and [`AdaptiveAnonymizer`] name the two
+//! variants the paper evaluates.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod service;
+
+pub use analysis::{analyze, expected_centroid_distance, linked_exposure, PrivacyReport};
+pub use service::{Anonymizer, CloakedQuery, CloakedUpdate, CumulativeStats, Pseudonym};
+
+/// The basic location anonymizer: complete pyramid, hash table pointing at
+/// the lowest level (Section 4.1).
+///
+/// ```
+/// use casper_anonymizer::BasicAnonymizer;
+/// use casper_geometry::Point;
+/// use casper_grid::{Profile, UserId};
+///
+/// let mut anonymizer = BasicAnonymizer::basic(9);
+/// anonymizer.register(UserId(7), Profile::new(1, 0.0), Point::new(0.4, 0.6));
+/// let query = anonymizer.cloak_query(UserId(7)).unwrap();
+/// // The region leaves the trusted side; the identity does not.
+/// assert!(query.region.contains(Point::new(0.4, 0.6)));
+/// assert!(query.region.area() > 0.0);
+/// ```
+pub type BasicAnonymizer = Anonymizer<casper_grid::CompletePyramid>;
+
+/// The adaptive location anonymizer: incomplete pyramid with cell
+/// splitting/merging (Section 4.2).
+pub type AdaptiveAnonymizer = Anonymizer<casper_grid::AdaptivePyramid>;
+
+/// Which anonymizer variant to construct; convenience for harnesses that
+/// compare the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnonymizerKind {
+    /// Complete pyramid (Section 4.1).
+    Basic,
+    /// Incomplete, adaptively maintained pyramid (Section 4.2).
+    Adaptive,
+}
+
+impl BasicAnonymizer {
+    /// Creates a basic anonymizer with a complete pyramid of
+    /// `height` levels.
+    pub fn basic(height: u8) -> Self {
+        Anonymizer::new(casper_grid::CompletePyramid::new(height))
+    }
+}
+
+impl AdaptiveAnonymizer {
+    /// Creates an adaptive anonymizer with an incomplete pyramid of
+    /// `height` levels.
+    pub fn adaptive(height: u8) -> Self {
+        Anonymizer::new(casper_grid::AdaptivePyramid::new(height))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_produce_empty_services() {
+        let b = BasicAnonymizer::basic(6);
+        let a = AdaptiveAnonymizer::adaptive(6);
+        assert_eq!(b.user_count(), 0);
+        assert_eq!(a.user_count(), 0);
+    }
+}

@@ -1,0 +1,398 @@
+//! The anonymizer service: pyramid maintenance, pseudonymisation, and
+//! cloaking of both location updates and queries.
+
+use std::collections::HashMap;
+
+use casper_geometry::{Point, Rect};
+use casper_grid::{CloakedRegion, MaintenanceStats, Profile, PyramidStructure, UserId};
+
+/// An unlinkable pseudonym: what the untrusted server sees instead of a
+/// user identity. A fresh pseudonym is minted for every cloaked update and
+/// every query, so the server cannot link two messages to the same user
+/// (Section 3: "the anonymizer also removes any user identity to ensure
+/// the pseudonymity of the location information").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pseudonym(pub u64);
+
+impl std::fmt::Display for Pseudonym {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A cloaked location update: what the anonymizer forwards to the server.
+/// Deliberately contains no user identity and no exact position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloakedUpdate {
+    /// Fresh pseudonym for this update.
+    pub pseudonym: Pseudonym,
+    /// The blurred spatial region satisfying the user's profile.
+    pub region: Rect,
+}
+
+/// A cloaked query: the blurred region standing in for the querying user's
+/// location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloakedQuery {
+    /// Fresh pseudonym for this query (used to route the candidate list
+    /// back through the anonymizer).
+    pub pseudonym: Pseudonym,
+    /// The blurred query region.
+    pub region: Rect,
+}
+
+/// Aggregate maintenance counters, for the update-cost experiments
+/// (Figures 10b, 11b, 12b).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CumulativeStats {
+    /// Sum of per-operation maintenance costs.
+    pub maintenance: MaintenanceStats,
+    /// Number of location updates processed.
+    pub location_updates: u64,
+    /// Number of cloaking operations performed.
+    pub cloaks: u64,
+}
+
+impl CumulativeStats {
+    /// Average structure updates per location update — the y-axis of
+    /// Figure 10b.
+    pub fn avg_updates_per_location_update(&self) -> f64 {
+        if self.location_updates == 0 {
+            return 0.0;
+        }
+        self.maintenance.total() as f64 / self.location_updates as f64
+    }
+}
+
+/// The trusted location anonymizer, generic over the pyramid structure.
+#[derive(Debug)]
+pub struct Anonymizer<P: PyramidStructure> {
+    pyramid: P,
+    stats: CumulativeStats,
+    next_pseudonym: u64,
+    /// Outstanding pseudonym → user routing table (never leaves the
+    /// trusted side).
+    routes: HashMap<Pseudonym, UserId>,
+}
+
+impl<P: PyramidStructure> Anonymizer<P> {
+    /// Wraps a pyramid structure into an anonymizer service.
+    pub fn new(pyramid: P) -> Self {
+        Self {
+            pyramid,
+            stats: CumulativeStats::default(),
+            next_pseudonym: 1,
+            routes: HashMap::new(),
+        }
+    }
+
+    fn mint(&mut self, uid: UserId) -> Pseudonym {
+        let p = Pseudonym(self.next_pseudonym);
+        self.next_pseudonym += 1;
+        self.routes.insert(p, uid);
+        p
+    }
+
+    /// Sanitises an incoming device position: non-finite coordinates are
+    /// rejected (GPS glitches must not corrupt the structure), and
+    /// positions slightly outside the service space are clamped onto its
+    /// boundary (the pyramid's hash function does the same, so this only
+    /// makes the contract explicit).
+    fn sanitize(pos: Point) -> Option<Point> {
+        if !pos.is_finite() {
+            return None;
+        }
+        Some(Point::new(pos.x.clamp(0.0, 1.0), pos.y.clamp(0.0, 1.0)))
+    }
+
+    /// Registers a user with her privacy profile and initial position.
+    /// Non-finite positions are rejected (no-op, zero cost).
+    pub fn register(&mut self, uid: UserId, profile: Profile, pos: Point) -> MaintenanceStats {
+        let Some(pos) = Self::sanitize(pos) else {
+            return MaintenanceStats::ZERO;
+        };
+        let s = self.pyramid.register(uid, profile, pos);
+        self.stats.maintenance += s;
+        s
+    }
+
+    /// Processes a location update `(uid, x, y)`.
+    /// Non-finite positions are dropped (the previous position stands).
+    pub fn update_location(&mut self, uid: UserId, pos: Point) -> MaintenanceStats {
+        let Some(pos) = Self::sanitize(pos) else {
+            return MaintenanceStats::ZERO;
+        };
+        let s = self.pyramid.update_location(uid, pos);
+        self.stats.maintenance += s;
+        self.stats.location_updates += 1;
+        s
+    }
+
+    /// Changes a user's privacy profile at runtime.
+    pub fn update_profile(&mut self, uid: UserId, profile: Profile) -> MaintenanceStats {
+        let s = self.pyramid.update_profile(uid, profile);
+        self.stats.maintenance += s;
+        s
+    }
+
+    /// Removes a user.
+    pub fn deregister(&mut self, uid: UserId) -> MaintenanceStats {
+        let s = self.pyramid.deregister(uid);
+        self.stats.maintenance += s;
+        s
+    }
+
+    /// Cloaks a registered user's current location for forwarding to the
+    /// server: Algorithm 1 plus pseudonymisation.
+    pub fn cloak_update(&mut self, uid: UserId) -> Option<CloakedUpdate> {
+        let region = self.pyramid.cloak_user(uid)?;
+        self.stats.cloaks += 1;
+        Some(CloakedUpdate {
+            pseudonym: self.mint(uid),
+            region: region.rect,
+        })
+    }
+
+    /// Cloaks a query issued by a registered user. The full
+    /// [`CloakedRegion`] metadata is kept trusted-side; only
+    /// [`CloakedQuery`] leaves.
+    pub fn cloak_query(&mut self, uid: UserId) -> Option<CloakedQuery> {
+        let region = self.pyramid.cloak_user(uid)?;
+        self.stats.cloaks += 1;
+        Some(CloakedQuery {
+            pseudonym: self.mint(uid),
+            region: region.rect,
+        })
+    }
+
+    /// Cloaks an arbitrary position under a given profile (used for
+    /// clients not registered for continuous tracking).
+    pub fn cloak_position(&mut self, pos: Point, profile: Profile) -> CloakedRegion {
+        self.stats.cloaks += 1;
+        self.pyramid.cloak_point(pos, profile)
+    }
+
+    /// Full cloaking metadata for a registered user (trusted-side only;
+    /// exposes `k'`/`A'` for the accuracy experiments of Figures 10c/10d).
+    pub fn cloak_region_of(&self, uid: UserId) -> Option<CloakedRegion> {
+        self.pyramid.cloak_user(uid)
+    }
+
+    /// Routes a served pseudonym back to the real user and forgets the
+    /// mapping (each pseudonym is single-use).
+    pub fn resolve(&mut self, pseudonym: Pseudonym) -> Option<UserId> {
+        self.routes.remove(&pseudonym)
+    }
+
+    /// Number of outstanding (unresolved) pseudonyms.
+    pub fn outstanding(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Number of registered users.
+    pub fn user_count(&self) -> usize {
+        self.pyramid.user_count()
+    }
+
+    /// Cumulative maintenance statistics.
+    pub fn stats(&self) -> CumulativeStats {
+        self.stats
+    }
+
+    /// Number of grid cells currently materialised by the pyramid.
+    pub fn maintained_cells(&self) -> usize {
+        self.pyramid.maintained_cells()
+    }
+
+    /// Read access to the underlying pyramid (used by harnesses and
+    /// tests).
+    pub fn pyramid(&self) -> &P {
+        &self.pyramid
+    }
+
+    /// Exports the trusted-side state — every user's id, profile and
+    /// exact position — for checkpointing. This data never leaves the
+    /// trusted perimeter; it exists so an anonymizer restart does not
+    /// force every device to re-register.
+    pub fn export_users(&self) -> Vec<(UserId, Profile, Point)> {
+        self.pyramid
+            .user_ids()
+            .into_iter()
+            .filter_map(|uid| {
+                Some((
+                    uid,
+                    self.pyramid.profile_of(uid)?,
+                    self.pyramid.position_of(uid)?,
+                ))
+            })
+            .collect()
+    }
+
+    /// Rebuilds an anonymizer from a checkpoint produced by
+    /// [`Anonymizer::export_users`].
+    pub fn restore(pyramid: P, checkpoint: &[(UserId, Profile, Point)]) -> Self {
+        let mut a = Self::new(pyramid);
+        for &(uid, profile, pos) in checkpoint {
+            a.register(uid, profile, pos);
+        }
+        // Checkpoint replay is maintenance-free from the outside world's
+        // perspective: reset the counters.
+        a.stats = CumulativeStats::default();
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdaptiveAnonymizer, BasicAnonymizer};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn uid(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    #[test]
+    fn cloaked_update_hides_identity_and_position() {
+        let mut a = BasicAnonymizer::basic(7);
+        a.register(uid(1), Profile::new(1, 0.0), Point::new(0.31, 0.62));
+        let c = a.cloak_update(uid(1)).unwrap();
+        // The region contains the user but is a full grid cell, not the
+        // exact point.
+        assert!(c.region.contains(Point::new(0.31, 0.62)));
+        assert!(c.region.area() > 0.0);
+        // Pseudonym routes back to the user exactly once.
+        assert_eq!(a.resolve(c.pseudonym), Some(uid(1)));
+        assert_eq!(a.resolve(c.pseudonym), None);
+    }
+
+    #[test]
+    fn pseudonyms_are_unlinkable_across_messages() {
+        let mut a = AdaptiveAnonymizer::adaptive(7);
+        a.register(uid(1), Profile::new(1, 0.0), Point::new(0.5, 0.5));
+        let c1 = a.cloak_update(uid(1)).unwrap();
+        let c2 = a.cloak_update(uid(1)).unwrap();
+        let q = a.cloak_query(uid(1)).unwrap();
+        assert_ne!(c1.pseudonym, c2.pseudonym);
+        assert_ne!(c1.pseudonym, q.pseudonym);
+        assert_eq!(a.outstanding(), 3);
+    }
+
+    #[test]
+    fn cloak_query_satisfies_profile() {
+        let mut a = BasicAnonymizer::basic(8);
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..100 {
+            a.register(
+                uid(i),
+                Profile::new(rng.gen_range(1..20), 0.0),
+                Point::new(rng.gen(), rng.gen()),
+            );
+        }
+        for i in 0..100 {
+            let q = a.cloak_query(uid(i)).unwrap();
+            let meta = a.cloak_region_of(uid(i)).unwrap();
+            assert_eq!(q.region, meta.rect);
+            // k' >= k whenever feasible (100 users registered, k < 20).
+            assert!(meta.user_count >= a.pyramid().profile_of(uid(i)).unwrap().k);
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = BasicAnonymizer::basic(6);
+        a.register(uid(1), Profile::RELAXED, Point::new(0.2, 0.2));
+        a.update_location(uid(1), Point::new(0.8, 0.8));
+        a.update_location(uid(1), Point::new(0.81, 0.8));
+        let s = a.stats();
+        assert_eq!(s.location_updates, 2);
+        assert!(s.maintenance.total() > 0);
+        assert!(s.avg_updates_per_location_update() > 0.0);
+    }
+
+    #[test]
+    fn non_finite_positions_are_rejected() {
+        let mut a = BasicAnonymizer::basic(6);
+        assert_eq!(
+            a.register(uid(1), Profile::RELAXED, Point::new(f64::NAN, 0.5)),
+            MaintenanceStats::ZERO
+        );
+        assert_eq!(a.user_count(), 0);
+        a.register(uid(1), Profile::RELAXED, Point::new(0.5, 0.5));
+        // A glitched update is dropped; the previous position stands.
+        assert_eq!(
+            a.update_location(uid(1), Point::new(0.1, f64::INFINITY)),
+            MaintenanceStats::ZERO
+        );
+        assert_eq!(a.pyramid().position_of(uid(1)), Some(Point::new(0.5, 0.5)));
+    }
+
+    #[test]
+    fn out_of_space_positions_clamp_to_boundary() {
+        let mut a = BasicAnonymizer::basic(6);
+        a.register(uid(1), Profile::RELAXED, Point::new(1.7, -0.3));
+        assert_eq!(a.pyramid().position_of(uid(1)), Some(Point::new(1.0, 0.0)));
+        let region = a.cloak_region_of(uid(1)).unwrap();
+        assert!(region.rect.contains(Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn unknown_user_cannot_be_cloaked() {
+        let mut a = BasicAnonymizer::basic(6);
+        assert!(a.cloak_update(uid(404)).is_none());
+        assert!(a.cloak_query(uid(404)).is_none());
+    }
+
+    #[test]
+    fn cloak_position_for_unregistered_client() {
+        let mut a = AdaptiveAnonymizer::adaptive(7);
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..50 {
+            a.register(uid(i), Profile::RELAXED, Point::new(rng.gen(), rng.gen()));
+        }
+        let region = a.cloak_position(Point::new(0.5, 0.5), Profile::new(10, 0.0));
+        assert!(region.user_count >= 10);
+        assert!(region.rect.contains(Point::new(0.5, 0.5)));
+    }
+
+    #[test]
+    fn checkpoint_round_trips_users_and_answers() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut a = BasicAnonymizer::basic(8);
+        for i in 0..200 {
+            a.register(
+                uid(i),
+                Profile::new(rng.gen_range(1..30), 0.0),
+                Point::new(rng.gen(), rng.gen()),
+            );
+        }
+        let checkpoint = a.export_users();
+        assert_eq!(checkpoint.len(), 200);
+        let restored = BasicAnonymizer::restore(casper_grid::CompletePyramid::new(8), &checkpoint);
+        assert_eq!(restored.user_count(), 200);
+        // Identical cloaks for every user (regions are functions of
+        // cell + profile + population, all of which round-tripped).
+        for i in 0..200 {
+            assert_eq!(
+                a.cloak_region_of(uid(i)).unwrap().rect,
+                restored.cloak_region_of(uid(i)).unwrap().rect,
+                "user {i}"
+            );
+        }
+        assert_eq!(restored.stats().location_updates, 0);
+    }
+
+    #[test]
+    fn profile_update_changes_cloak_granularity() {
+        let mut a = BasicAnonymizer::basic(8);
+        let mut rng = StdRng::seed_from_u64(13);
+        for i in 0..200 {
+            a.register(uid(i), Profile::RELAXED, Point::new(rng.gen(), rng.gen()));
+        }
+        let before = a.cloak_region_of(uid(0)).unwrap().area();
+        a.update_profile(uid(0), Profile::new(150, 0.0));
+        let after = a.cloak_region_of(uid(0)).unwrap().area();
+        assert!(after >= before);
+        assert!(a.cloak_region_of(uid(0)).unwrap().user_count >= 150);
+    }
+}

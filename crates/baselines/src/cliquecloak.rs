@@ -1,0 +1,243 @@
+//! The CliqueCloak algorithm (Gedik & Liu \[16\]).
+//!
+//! Each user submits a cloaking request with her own `k` and a spatial
+//! tolerance (a box around her position she is willing to be blurred
+//! into). Requests wait in a pool; when a group of requests is found whose
+//! tolerance boxes mutually contain each other's positions (a clique in
+//! the constraint graph) and whose size meets every member's `k`, the
+//! group is cloaked together, the cloak being the **minimum bounding
+//! rectangle of the member positions**.
+//!
+//! Two properties the paper criticises are directly observable here:
+//!
+//! * *privacy leak* — some members necessarily lie **on** the MBR
+//!   boundary, so an adversary learns exact coordinates of boundary users
+//!   (tested below);
+//! * *cost* — the clique search is combinatorial, which is why the
+//!   original work limits `k` to 5–10.
+
+use casper_geometry::{Point, Rect};
+
+/// A pending cloaking request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloakRequest {
+    /// Requesting user's identifier.
+    pub uid: u64,
+    /// Exact position (known to the trusted anonymizer).
+    pub pos: Point,
+    /// Required anonymity level (including the user herself).
+    pub k: u32,
+    /// Half-width of the tolerance box around `pos`.
+    pub tolerance: f64,
+}
+
+impl CloakRequest {
+    /// The spatial constraint box of this request.
+    pub fn constraint_box(&self) -> Rect {
+        Rect::centered_at(self.pos, 2.0 * self.tolerance, 2.0 * self.tolerance)
+    }
+}
+
+/// A successfully cloaked group of requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloakedGroup {
+    /// The users cloaked together.
+    pub members: Vec<u64>,
+    /// Their shared cloaked region: the MBR of the member positions.
+    pub region: Rect,
+}
+
+/// The CliqueCloak engine: a pool of pending requests plus the clique
+/// search triggered by each arrival.
+#[derive(Debug, Default)]
+pub struct CliqueCloak {
+    pending: Vec<CloakRequest>,
+}
+
+impl CliqueCloak {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of requests still waiting for a clique.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Two requests are compatible when each position lies inside the
+    /// other's constraint box (the constraint-graph edge relation).
+    fn compatible(a: &CloakRequest, b: &CloakRequest) -> bool {
+        a.constraint_box().contains(b.pos) && b.constraint_box().contains(a.pos)
+    }
+
+    /// Submits a request. When a clique covering the newcomer's (and every
+    /// member's) `k` can be assembled, the group is cloaked and removed
+    /// from the pool; otherwise the request waits.
+    ///
+    /// The search is the greedy heuristic of the original system: collect
+    /// the newcomer's compatible neighbours, then grow a clique around the
+    /// newcomer preferring nearby requests.
+    pub fn submit(&mut self, req: CloakRequest) -> Option<CloakedGroup> {
+        // Candidate neighbours, nearest first (greedy order).
+        let mut neighbors: Vec<usize> = (0..self.pending.len())
+            .filter(|&i| Self::compatible(&self.pending[i], &req))
+            .collect();
+        neighbors.sort_by(|&a, &b| {
+            self.pending[a]
+                .pos
+                .dist(req.pos)
+                .total_cmp(&self.pending[b].pos.dist(req.pos))
+        });
+        // Grow a clique around the newcomer.
+        let mut clique: Vec<usize> = Vec::new();
+        for i in neighbors {
+            if clique
+                .iter()
+                .all(|&j| Self::compatible(&self.pending[i], &self.pending[j]))
+            {
+                clique.push(i);
+            }
+        }
+        // The group (including the newcomer) must satisfy every member's k.
+        // Greedily shrink from the farthest member while the group is
+        // larger than needed but some member's k is unmet (dropping a
+        // strict member can help the rest).
+        loop {
+            let size = clique.len() as u32 + 1;
+            let needed = clique
+                .iter()
+                .map(|&i| self.pending[i].k)
+                .chain(std::iter::once(req.k))
+                .max()
+                .unwrap_or(1);
+            if size >= needed {
+                break; // clique works
+            }
+            // Try dropping the strictest member (largest k) if that member
+            // is the blocker and the remainder could still help the rest.
+            let Some(pos_strictest) = clique.iter().position(|&i| self.pending[i].k == needed)
+            else {
+                // The newcomer herself is the strictest: no group today.
+                self.pending.push(req);
+                return None;
+            };
+            clique.remove(pos_strictest);
+            if clique.is_empty() && req.k > 1 {
+                self.pending.push(req);
+                return None;
+            }
+        }
+        // Success: build the group.
+        let mut members = vec![req.uid];
+        let mut region = Rect::point(req.pos);
+        // Remove clique members from the pool (descending indices).
+        let mut indices = clique;
+        indices.sort_unstable_by(|a, b| b.cmp(a));
+        for i in indices {
+            let r = self.pending.swap_remove(i);
+            members.push(r.uid);
+            region = region.union(&Rect::point(r.pos));
+        }
+        Some(CloakedGroup { members, region })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(uid: u64, x: f64, y: f64, k: u32, tol: f64) -> CloakRequest {
+        CloakRequest {
+            uid,
+            pos: Point::new(x, y),
+            k,
+            tolerance: tol,
+        }
+    }
+
+    #[test]
+    fn single_k1_request_cloaks_alone() {
+        let mut cc = CliqueCloak::new();
+        let g = cc.submit(req(1, 0.5, 0.5, 1, 0.1)).unwrap();
+        assert_eq!(g.members, vec![1]);
+        assert_eq!(g.region, Rect::point(Point::new(0.5, 0.5)));
+        assert_eq!(cc.pending(), 0);
+    }
+
+    #[test]
+    fn requests_wait_until_k_met() {
+        let mut cc = CliqueCloak::new();
+        assert!(cc.submit(req(1, 0.50, 0.50, 3, 0.1)).is_none());
+        assert!(cc.submit(req(2, 0.52, 0.50, 3, 0.1)).is_none());
+        assert_eq!(cc.pending(), 2);
+        let g = cc.submit(req(3, 0.50, 0.52, 3, 0.1)).unwrap();
+        let mut m = g.members.clone();
+        m.sort_unstable();
+        assert_eq!(m, vec![1, 2, 3]);
+        assert_eq!(cc.pending(), 0);
+    }
+
+    #[test]
+    fn incompatible_tolerances_never_group() {
+        let mut cc = CliqueCloak::new();
+        assert!(cc.submit(req(1, 0.1, 0.1, 2, 0.05)).is_none());
+        // Too far for either tolerance box.
+        assert!(cc.submit(req(2, 0.9, 0.9, 2, 0.05)).is_none());
+        assert_eq!(cc.pending(), 2);
+    }
+
+    #[test]
+    fn boundary_leak_is_observable() {
+        // The paper's criticism: the MBR cloak puts users on its boundary.
+        let mut cc = CliqueCloak::new();
+        cc.submit(req(1, 0.40, 0.40, 2, 0.2));
+        let g = cc.submit(req(2, 0.45, 0.47, 2, 0.2)).unwrap();
+        // Both members lie exactly on the region boundary (the corners).
+        let r = g.region;
+        let on_boundary = |p: Point| {
+            (p.x - r.min.x).abs() < 1e-12
+                || (p.x - r.max.x).abs() < 1e-12
+                || (p.y - r.min.y).abs() < 1e-12
+                || (p.y - r.max.y).abs() < 1e-12
+        };
+        assert!(on_boundary(Point::new(0.40, 0.40)));
+        assert!(on_boundary(Point::new(0.45, 0.47)));
+    }
+
+    #[test]
+    fn group_region_contains_all_members() {
+        let mut cc = CliqueCloak::new();
+        cc.submit(req(1, 0.3, 0.3, 3, 0.3));
+        cc.submit(req(2, 0.35, 0.32, 3, 0.3));
+        let g = cc.submit(req(3, 0.32, 0.36, 2, 0.3)).unwrap();
+        assert!(g.region.contains(Point::new(0.3, 0.3)));
+        assert!(g.region.contains(Point::new(0.35, 0.32)));
+        assert!(g.region.contains(Point::new(0.32, 0.36)));
+    }
+
+    #[test]
+    fn mixed_k_group_satisfies_strictest_member() {
+        let mut cc = CliqueCloak::new();
+        assert!(cc.submit(req(1, 0.5, 0.5, 3, 0.2)).is_none());
+        assert!(cc.submit(req(2, 0.52, 0.5, 2, 0.2)).is_none());
+        // Third arrival reaches the strictest member's k = 3: the whole
+        // pool cloaks together.
+        let g = cc.submit(req(3, 0.5, 0.52, 2, 0.2)).unwrap();
+        assert_eq!(g.members.len(), 3);
+        assert_eq!(cc.pending(), 0);
+    }
+
+    #[test]
+    fn strict_member_can_be_skipped() {
+        let mut cc = CliqueCloak::new();
+        // A very strict request that cannot be satisfied...
+        cc.submit(req(1, 0.5, 0.5, 50, 0.2));
+        // ...must not block two k=2 users from cloaking together.
+        cc.submit(req(2, 0.51, 0.5, 2, 0.2));
+        let g = cc.submit(req(3, 0.5, 0.51, 2, 0.2)).unwrap();
+        assert_eq!(g.members.len(), 2);
+        assert!(!g.members.contains(&1));
+        assert_eq!(cc.pending(), 1); // the strict one still waits
+    }
+}

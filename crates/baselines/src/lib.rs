@@ -1,0 +1,30 @@
+//! Baseline algorithms the paper positions *Casper* against.
+//!
+//! * [`quadtree`] — the spatio-temporal cloaking of Gruteser & Grunwald
+//!   \[17\]: "for each user location update, the spatial space is recursively
+//!   divided in a KD-tree-like format till a suitable subspace is found".
+//!   Uniform `k` for all users; every cloak re-partitions from scratch,
+//!   which is the scalability weakness Section 2 calls out.
+//! * [`cliquecloak`] — the CliqueCloak algorithm of Gedik & Liu \[16\]:
+//!   per-user `k`, pending requests combined through a clique search, cloak
+//!   = minimum bounding rectangle of the clique members. Exhibits the
+//!   privacy leak the paper criticises (users lie on the MBR boundary) and
+//!   the computational cost that limits it to small `k`.
+//! * [`naive`] — the two naive private-NN strategies of Figure 4: answer
+//!   with the nearest target to the *centre* of the cloaked region
+//!   (inaccurate), or ship *all* targets to the client (unscalable).
+//!
+//! These exist for the comparison experiments; production users of the
+//! library want `casper_anonymizer` and `casper_qp` instead.
+
+#![warn(missing_docs)]
+
+pub mod cliquecloak;
+pub mod naive;
+pub mod quadtree;
+pub mod temporal;
+
+pub use cliquecloak::{CliqueCloak, CloakRequest, CloakedGroup};
+pub use naive::{center_nn, ship_all};
+pub use quadtree::quadtree_cloak;
+pub use temporal::{ReleasedMessage, TemporalCloak};

@@ -1,0 +1,87 @@
+//! The two naive private-NN strategies of Figure 4.
+//!
+//! Given a cloaked query region, a traditional server could either
+//!
+//! * answer with the single target nearest to the **centre** of the region
+//!   (Figure 4b) — minimal transmission, but the answer is wrong whenever
+//!   the user does not stand at the centre; or
+//! * ship **all** targets to the client (Figure 4c) — always correct, but
+//!   "not practical due to the overhead of transmitting large numbers of
+//!   target objects and the limited capabilities at the client side".
+//!
+//! Casper's candidate list (``casper_qp``) is the compromise between these
+//! extremes; the Figure 4 experiment harness quantifies all three.
+
+use casper_geometry::Rect;
+use casper_index::{DistanceKind, Entry, SpatialIndex};
+
+/// Figure 4b: the nearest target to the centre of the cloaked region.
+///
+/// Returns `None` on an empty data set. The answer is *approximate*: it is
+/// the exact NN only for users standing near the region centre.
+pub fn center_nn<I: SpatialIndex>(index: &I, region: &Rect) -> Option<Entry> {
+    index
+        .nearest(region.center(), DistanceKind::Min)
+        .map(|n| n.entry)
+}
+
+/// Figure 4c: ship every stored target to the client.
+pub fn ship_all<I: SpatialIndex>(index: &I) -> Vec<Entry> {
+    index.range(&Rect::from_coords(
+        f64::NEG_INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::INFINITY,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casper_geometry::Point;
+    use casper_index::{BruteForce, ObjectId};
+
+    fn pt(id: u64, x: f64, y: f64) -> Entry {
+        Entry::point(ObjectId(id), Point::new(x, y))
+    }
+
+    #[test]
+    fn center_nn_picks_closest_to_center() {
+        let idx = BruteForce::from_entries([pt(1, 0.5, 0.52), pt(2, 0.9, 0.9)]);
+        let region = Rect::from_coords(0.4, 0.4, 0.6, 0.6);
+        assert_eq!(center_nn(&idx, &region).unwrap().id, ObjectId(1));
+    }
+
+    #[test]
+    fn center_nn_can_be_wrong_for_off_center_users() {
+        // The Figure 4b failure mode: the user stands in a corner, where a
+        // different target is closer.
+        let t_center = pt(1, 0.5, 0.35); // closest to the region centre
+        let t_corner = pt(2, 0.62, 0.62); // closest to the user's corner
+        let idx = BruteForce::from_entries([t_center, t_corner]);
+        let region = Rect::from_coords(0.4, 0.4, 0.6, 0.6);
+        let user = Point::new(0.6, 0.6);
+        let naive = center_nn(&idx, &region).unwrap();
+        let exact = [t_center, t_corner]
+            .into_iter()
+            .min_by(|a, b| a.mbr.min.dist(user).total_cmp(&b.mbr.min.dist(user)))
+            .unwrap();
+        assert_eq!(naive.id, ObjectId(1));
+        assert_eq!(exact.id, ObjectId(2));
+        assert_ne!(naive.id, exact.id, "the naive answer is wrong here");
+    }
+
+    #[test]
+    fn ship_all_returns_everything() {
+        let entries: Vec<Entry> = (0..25).map(|i| pt(i, (i as f64) / 25.0, 0.5)).collect();
+        let idx = BruteForce::from_entries(entries.iter().copied());
+        assert_eq!(ship_all(&idx).len(), 25);
+    }
+
+    #[test]
+    fn empty_index_yields_no_answers() {
+        let idx = BruteForce::new();
+        assert!(center_nn(&idx, &Rect::unit()).is_none());
+        assert!(ship_all(&idx).is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Spatio-temporal cloaking via recursive quadrant subdivision
+//! (Gruteser & Grunwald \[17\]).
+//!
+//! All users share one system-wide `k`. To cloak a user, the unit square
+//! is recursively divided into quadrants; the recursion follows the
+//! quadrant containing the user until that quadrant would hold fewer than
+//! `k` users, and the last quadrant still holding at least `k` is
+//! returned. Unlike Casper's pyramid, the subdivision is re-derived from
+//! the raw user positions on every request — "such technique lacks
+//! scalability as it deals with each single movement of each user
+//! individually" (Section 2).
+
+use casper_geometry::{Point, Rect};
+
+/// Cloaks `user` among `users` with anonymity level `k` by recursive
+/// quadrant subdivision.
+///
+/// `users` must contain the user's own position (the count is inclusive,
+/// matching Casper's `k` semantics). When fewer than `k` users exist in
+/// total, the whole space is returned.
+///
+/// Runs in `O(n log n)` expected time: each level scans the points still
+/// inside the current quadrant.
+pub fn quadtree_cloak(users: &[Point], user: Point, k: usize) -> Rect {
+    let mut region = Rect::unit();
+    let mut inside: Vec<Point> = users
+        .iter()
+        .copied()
+        .filter(|p| region.contains(*p))
+        .collect();
+    if inside.len() < k.max(1) {
+        return region;
+    }
+    loop {
+        // Quadrant of `region` containing the user.
+        let c = region.center();
+        let quadrant = Rect::new(
+            Point::new(
+                if user.x >= c.x { c.x } else { region.min.x },
+                if user.y >= c.y { c.y } else { region.min.y },
+            ),
+            Point::new(
+                if user.x >= c.x { region.max.x } else { c.x },
+                if user.y >= c.y { region.max.y } else { c.y },
+            ),
+        );
+        let sub: Vec<Point> = inside
+            .iter()
+            .copied()
+            .filter(|p| quadrant.contains(*p))
+            .collect();
+        if sub.len() < k.max(1) {
+            return region; // the child would break k-anonymity
+        }
+        if quadrant.width() < 1e-9 || quadrant.height() < 1e-9 {
+            return quadrant; // resolution floor
+        }
+        region = quadrant;
+        inside = sub;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_in(users: &[Point], r: &Rect) -> usize {
+        users.iter().filter(|p| r.contains(**p)).count()
+    }
+
+    #[test]
+    fn region_always_contains_user_and_k_users() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let users: Vec<Point> = (0..200).map(|_| Point::new(rng.gen(), rng.gen())).collect();
+        for k in [1usize, 5, 20, 100] {
+            for &u in users.iter().take(20) {
+                let r = quadtree_cloak(&users, u, k);
+                assert!(r.contains(u));
+                assert!(
+                    count_in(&users, &r) >= k,
+                    "k={k}: region holds {} users",
+                    count_in(&users, &r)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lone_user_with_high_k_gets_whole_space() {
+        let users = vec![Point::new(0.5, 0.5)];
+        let r = quadtree_cloak(&users, users[0], 10);
+        assert_eq!(r, Rect::unit());
+    }
+
+    #[test]
+    fn k_one_descends_to_small_regions() {
+        // A user far from everyone with k = 1 gets a tiny quadrant.
+        let mut users = vec![Point::new(0.1, 0.1)];
+        for i in 0..50 {
+            users.push(Point::new(0.9, 0.9 - i as f64 * 1e-4));
+        }
+        let r = quadtree_cloak(&users, users[0], 1);
+        assert!(r.area() < 0.01);
+        assert!(r.contains(users[0]));
+    }
+
+    #[test]
+    fn dense_cluster_satisfies_higher_k_in_small_region() {
+        let mut users = Vec::new();
+        for i in 0..100 {
+            users.push(Point::new(
+                0.30 + (i % 10) as f64 * 1e-3,
+                0.70 + (i / 10) as f64 * 1e-3,
+            ));
+        }
+        let r = quadtree_cloak(&users, users[0], 50);
+        assert!(count_in(&users, &r) >= 50);
+        assert!(
+            r.area() < 0.3,
+            "dense cluster should cloak small, got {}",
+            r.area()
+        );
+    }
+
+    #[test]
+    fn data_dependence_reveals_distribution() {
+        // The weakness the paper notes: the returned region depends on
+        // *other users' positions*, not only on the requester's cell. Two
+        // snapshots differing only in far-away users can change the cloak.
+        let user = Point::new(0.26, 0.26);
+        let mut snapshot_a = vec![user, Point::new(0.27, 0.27), Point::new(0.28, 0.26)];
+        let mut snapshot_b = snapshot_a.clone();
+        snapshot_a.push(Point::new(0.3, 0.3)); // inside the same quadrant
+        snapshot_b.push(Point::new(0.9, 0.9)); // far away
+        let ra = quadtree_cloak(&snapshot_a, user, 4);
+        let rb = quadtree_cloak(&snapshot_b, user, 4);
+        assert_ne!(ra, rb, "cloak leaks the population layout");
+    }
+}

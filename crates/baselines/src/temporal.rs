@@ -1,0 +1,185 @@
+//! Temporal cloaking (the second half of Gruteser & Grunwald \[17\]).
+//!
+//! Besides spatial subdivision, the baseline can trade *time* for
+//! anonymity: a message tagged with a small spatial area is **delayed**
+//! until `k` distinct users have visited that area, then released with a
+//! time interval instead of a timestamp. The paper's Casper does not need
+//! this (its regions always reach `k` spatially), but the comparison
+//! explains why: temporal cloaking makes latency data-dependent and
+//! unbounded in sparse areas, which is unusable for interactive queries.
+
+use std::collections::HashSet;
+
+use casper_geometry::{Point, Rect};
+
+/// A message waiting for temporal anonymity.
+#[derive(Debug, Clone)]
+struct Pending {
+    id: u64,
+    area: Rect,
+    submitted_at: f64,
+    /// Distinct users seen in `area` since submission (including the
+    /// sender).
+    visitors: HashSet<u64>,
+    k: usize,
+}
+
+/// A message released by the temporal cloak.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReleasedMessage {
+    /// Message identifier.
+    pub id: u64,
+    /// The spatial area it was tagged with.
+    pub area: Rect,
+    /// Time interval `[submitted_at, released_at]` replacing the exact
+    /// timestamp — the temporal cloak.
+    pub interval: (f64, f64),
+    /// The delay the sender had to tolerate.
+    pub delay: f64,
+}
+
+/// The temporal cloaking engine: buffers messages until `k` distinct
+/// users have visited their areas.
+#[derive(Debug, Default)]
+pub struct TemporalCloak {
+    pending: Vec<Pending>,
+    now: f64,
+}
+
+impl TemporalCloak {
+    /// Creates an empty engine at time 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of messages still delayed.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Submits a message from `sender` covering `area`, requiring `k`
+    /// distinct visitors before release.
+    pub fn submit(&mut self, id: u64, sender: u64, area: Rect, k: usize) {
+        let mut visitors = HashSet::new();
+        visitors.insert(sender);
+        self.pending.push(Pending {
+            id,
+            area,
+            submitted_at: self.now,
+            visitors,
+            k: k.max(1),
+        });
+    }
+
+    /// Advances time to `now` and feeds the user positions observed at
+    /// that instant; returns every message whose visitor quota is now
+    /// met.
+    pub fn observe(&mut self, now: f64, positions: &[(u64, Point)]) -> Vec<ReleasedMessage> {
+        assert!(now >= self.now, "time cannot run backwards");
+        self.now = now;
+        for p in &mut self.pending {
+            for &(uid, pos) in positions {
+                if p.area.contains(pos) {
+                    p.visitors.insert(uid);
+                }
+            }
+        }
+        let mut released = Vec::new();
+        self.pending.retain(|p| {
+            if p.visitors.len() >= p.k {
+                released.push(ReleasedMessage {
+                    id: p.id,
+                    area: p.area,
+                    interval: (p.submitted_at, now),
+                    delay: now - p.submitted_at,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        released
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn area() -> Rect {
+        Rect::from_coords(0.4, 0.4, 0.6, 0.6)
+    }
+
+    #[test]
+    fn k_one_releases_immediately() {
+        let mut tc = TemporalCloak::new();
+        tc.submit(1, 100, area(), 1);
+        let out = tc.observe(0.0, &[]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].delay, 0.0);
+    }
+
+    #[test]
+    fn waits_for_k_distinct_visitors() {
+        let mut tc = TemporalCloak::new();
+        tc.submit(1, 100, area(), 3);
+        // The sender revisiting does not count twice.
+        assert!(tc.observe(1.0, &[(100, Point::new(0.5, 0.5))]).is_empty());
+        assert!(tc.observe(2.0, &[(101, Point::new(0.45, 0.5))]).is_empty());
+        let out = tc.observe(3.0, &[(102, Point::new(0.55, 0.5))]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].delay, 3.0);
+        assert_eq!(out[0].interval, (0.0, 3.0));
+        assert_eq!(tc.pending(), 0);
+    }
+
+    #[test]
+    fn visitors_outside_the_area_do_not_count() {
+        let mut tc = TemporalCloak::new();
+        tc.submit(1, 100, area(), 2);
+        assert!(tc.observe(1.0, &[(101, Point::new(0.9, 0.9))]).is_empty());
+        assert_eq!(tc.pending(), 1);
+        assert_eq!(tc.observe(2.0, &[(101, Point::new(0.5, 0.5))]).len(), 1);
+    }
+
+    #[test]
+    fn sparse_areas_delay_unboundedly() {
+        // The failure mode Casper avoids: nobody visits, the message
+        // never leaves — even after a long wait.
+        let mut tc = TemporalCloak::new();
+        tc.submit(1, 100, Rect::from_coords(0.0, 0.0, 0.01, 0.01), 5);
+        for t in 1..1000 {
+            assert!(tc
+                .observe(t as f64, &[(101, Point::new(0.9, 0.9))])
+                .is_empty());
+        }
+        assert_eq!(tc.pending(), 1);
+    }
+
+    #[test]
+    fn multiple_messages_release_independently() {
+        let mut tc = TemporalCloak::new();
+        tc.submit(1, 100, area(), 2);
+        tc.submit(2, 200, Rect::from_coords(0.0, 0.0, 0.2, 0.2), 2);
+        let out = tc.observe(1.0, &[(300, Point::new(0.5, 0.5))]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 1);
+        assert_eq!(tc.pending(), 1);
+        let out = tc.observe(2.0, &[(301, Point::new(0.1, 0.1))]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn time_cannot_rewind() {
+        let mut tc = TemporalCloak::new();
+        tc.observe(5.0, &[]);
+        tc.observe(4.0, &[]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Criterion benches for the location anonymizer (Figures 10–12):
+//! cloaking latency and location-update maintenance cost, basic vs
+//! adaptive, across pyramid heights and k ranges.
+
+use casper_bench::workload::{k_group_profile, loaded_pyramids, Population};
+use casper_geometry::Point;
+use casper_grid::{AdaptivePyramid, CompletePyramid, PyramidStructure, UserId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const USERS: usize = 10_000;
+
+fn bench_cloaking_vs_height(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cloak_time_vs_height(fig10a)");
+    for height in [5u8, 7, 9] {
+        let (basic, adaptive, _) = loaded_pyramids(height, USERS, 42);
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::new("basic", height), &height, |b, _| {
+            b.iter(|| {
+                i = (i + 1) % USERS as u64;
+                basic.cloak_user(UserId(i))
+            })
+        });
+        let mut j = 0u64;
+        group.bench_with_input(BenchmarkId::new("adaptive", height), &height, |b, _| {
+            b.iter(|| {
+                j = (j + 1) % USERS as u64;
+                adaptive.cloak_user(UserId(j))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("location_update(fig10b_11b)");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(7);
+    let moves: Vec<(u64, Point)> = (0..5_000)
+        .map(|_| {
+            (
+                rng.gen_range(0..USERS as u64),
+                Point::new(rng.gen(), rng.gen()),
+            )
+        })
+        .collect();
+    let (basic0, adaptive0, _) = loaded_pyramids(9, USERS, 43);
+    group.bench_function("basic/5k_moves", |b| {
+        b.iter_batched(
+            || basic0.clone(),
+            |mut p| {
+                for &(id, pos) in &moves {
+                    p.update_location(UserId(id), pos);
+                }
+                p
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("adaptive/5k_moves", |b| {
+        b.iter_batched(
+            || adaptive0.clone(),
+            |mut p| {
+                for &(id, pos) in &moves {
+                    p.update_location(UserId(id), pos);
+                }
+                p
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_cloaking_vs_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cloak_time_vs_k(fig12a)");
+    for (lo, hi) in [(1u32, 10u32), (50, 100), (150, 200)] {
+        let pop = Population::new(USERS, 0x5eed + lo as u64, |rng| {
+            k_group_profile(rng, (lo, hi))
+        });
+        let mut basic = CompletePyramid::new(9);
+        let mut adaptive = AdaptivePyramid::new(9);
+        pop.register_into(&mut basic);
+        pop.register_into(&mut adaptive);
+        let label = format!("{lo}-{hi}");
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::new("basic", &label), &label, |b, _| {
+            b.iter(|| {
+                i = (i + 1) % USERS as u64;
+                basic.cloak_user(UserId(i))
+            })
+        });
+        let mut j = 0u64;
+        group.bench_with_input(BenchmarkId::new("adaptive", &label), &label, |b, _| {
+            b.iter(|| {
+                j = (j + 1) % USERS as u64;
+                adaptive.cloak_user(UserId(j))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cloaking_vs_height,
+    bench_update_cost,
+    bench_cloaking_vs_k
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench for the end-to-end pipeline (Figure 17): register a
+//! population, then measure a full private NN query — cloak, process,
+//! (modelled) transmit, refine — under relaxed and strict k.
+
+use casper_anonymizer::AdaptiveAnonymizer;
+use casper_bench::workload::{k_group_profile, Population};
+use casper_core::Casper;
+use casper_grid::UserId;
+use casper_index::ObjectId;
+use casper_mobility::uniform_targets;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+
+const USERS: usize = 10_000;
+const TARGETS: usize = 10_000;
+
+fn build_casper(group: (u32, u32)) -> Casper<casper_grid::AdaptivePyramid> {
+    let pop = Population::new(USERS, 0xE2E + group.0 as u64, |rng| {
+        k_group_profile(rng, group)
+    });
+    let mut casper = Casper::new(AdaptiveAnonymizer::adaptive(9));
+    let mut rng = StdRng::seed_from_u64(0xE2E0);
+    casper.load_targets(
+        uniform_targets(TARGETS, &mut rng)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (ObjectId(i as u64), p)),
+    );
+    for i in 0..pop.len() {
+        casper.register_user(
+            UserId(i as u64),
+            pop.profiles[i],
+            pop.generator.object(i).position(),
+        );
+    }
+    casper
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_query(fig17)");
+    group.sample_size(30);
+    for (lo, hi) in [(1u32, 10u32), (40, 50), (150, 200)] {
+        let mut casper = build_casper((lo, hi));
+        let label = format!("k{lo}-{hi}");
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::new("public", &label), &label, |b, _| {
+            b.iter(|| {
+                i = (i + 1) % USERS as u64;
+                casper.query_nn(UserId(i))
+            })
+        });
+        let mut j = 0u64;
+        group.bench_with_input(BenchmarkId::new("private", &label), &label, |b, _| {
+            b.iter(|| {
+                j = (j + 1) % USERS as u64;
+                casper.query_nn_private(UserId(j))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

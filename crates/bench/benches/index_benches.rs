@@ -1,0 +1,122 @@
+//! Criterion benches for the spatial-index substrate: R-tree vs uniform
+//! grid vs brute force on the operations the query processor issues
+//! (nearest-neighbour and range).
+
+use casper_bench::workload::query_regions;
+use casper_geometry::Point;
+use casper_index::{BruteForce, DistanceKind, Entry, ObjectId, RTree, SpatialIndex, UniformGrid};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const N: usize = 10_000;
+
+fn entries(seed: u64) -> Vec<Entry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..N)
+        .map(|i| Entry::point(ObjectId(i as u64), Point::new(rng.gen(), rng.gen())))
+        .collect()
+}
+
+fn probes(seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..512).map(|_| Point::new(rng.gen(), rng.gen())).collect()
+}
+
+fn bench_nearest(c: &mut Criterion) {
+    let data = entries(1);
+    let rtree = RTree::bulk_load(data.iter().copied());
+    let mut grid = UniformGrid::with_capacity_hint(N);
+    for e in &data {
+        grid.insert(*e);
+    }
+    let brute = BruteForce::from_entries(data.iter().copied());
+    let ps = probes(2);
+    let mut group = c.benchmark_group("index_nearest");
+    let mut i = 0usize;
+    group.bench_function(BenchmarkId::from_parameter("rtree"), |b| {
+        b.iter(|| {
+            i = (i + 1) % ps.len();
+            rtree.nearest(ps[i], DistanceKind::Min)
+        })
+    });
+    let mut j = 0usize;
+    group.bench_function(BenchmarkId::from_parameter("grid"), |b| {
+        b.iter(|| {
+            j = (j + 1) % ps.len();
+            grid.nearest(ps[j], DistanceKind::Min)
+        })
+    });
+    let mut k = 0usize;
+    group.bench_function(BenchmarkId::from_parameter("brute"), |b| {
+        b.iter(|| {
+            k = (k + 1) % ps.len();
+            brute.nearest(ps[k], DistanceKind::Min)
+        })
+    });
+    group.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let data = entries(3);
+    let rtree = RTree::bulk_load(data.iter().copied());
+    let mut grid = UniformGrid::with_capacity_hint(N);
+    for e in &data {
+        grid.insert(*e);
+    }
+    let brute = BruteForce::from_entries(data.iter().copied());
+    let queries = query_regions(256, 1024, 4);
+    let mut group = c.benchmark_group("index_range_1024cells");
+    let mut i = 0usize;
+    group.bench_function(BenchmarkId::from_parameter("rtree"), |b| {
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            rtree.range(&queries[i])
+        })
+    });
+    let mut j = 0usize;
+    group.bench_function(BenchmarkId::from_parameter("grid"), |b| {
+        b.iter(|| {
+            j = (j + 1) % queries.len();
+            grid.range(&queries[j])
+        })
+    });
+    let mut k = 0usize;
+    group.bench_function(BenchmarkId::from_parameter("brute"), |b| {
+        b.iter(|| {
+            k = (k + 1) % queries.len();
+            brute.range(&queries[k])
+        })
+    });
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let data = entries(5);
+    let mut group = c.benchmark_group("index_build_10k");
+    group.sample_size(20);
+    group.bench_function("rtree_bulk_load", |b| {
+        b.iter(|| RTree::bulk_load(data.iter().copied()))
+    });
+    group.bench_function("rtree_incremental", |b| {
+        b.iter(|| {
+            let mut t = RTree::new();
+            for e in &data {
+                t.insert(*e);
+            }
+            t
+        })
+    });
+    group.bench_function("grid", |b| {
+        b.iter(|| {
+            let mut g = UniformGrid::with_capacity_hint(N);
+            for e in &data {
+                g.insert(*e);
+            }
+            g
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nearest, bench_range, bench_build);
+criterion_main!(benches);

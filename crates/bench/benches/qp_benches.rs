@@ -1,0 +1,96 @@
+//! Criterion benches for the privacy-aware query processor
+//! (Figures 13–16): NN query latency by filter count, data kind
+//! (public points vs private regions), and region sizes.
+
+use casper_bench::workload::{private_target_index, public_target_index, query_regions};
+use casper_qp::{private_nn_private_data, private_nn_public_data, FilterCount, PrivateBoundMode};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const TARGETS: usize = 10_000;
+
+fn label(fc: FilterCount) -> &'static str {
+    match fc {
+        FilterCount::One => "1filter",
+        FilterCount::Two => "2filters",
+        FilterCount::Four => "4filters",
+    }
+}
+
+fn bench_public_filters(c: &mut Criterion) {
+    let index = public_target_index(TARGETS, 1);
+    let queries = query_regions(256, 64, 2);
+    let mut group = c.benchmark_group("nn_public(fig13b)");
+    for fc in FilterCount::ALL {
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(label(fc)), &fc, |b, &fc| {
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                private_nn_public_data(&index, &queries[i], fc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_private_filters(c: &mut Criterion) {
+    let index = private_target_index(TARGETS, (1, 64), 3);
+    let queries = query_regions(256, 64, 4);
+    let mut group = c.benchmark_group("nn_private(fig14b)");
+    for fc in FilterCount::ALL {
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(label(fc)), &fc, |b, &fc| {
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                private_nn_private_data(&index, &queries[i], fc, PrivateBoundMode::Safe, 0.0)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_region_size(c: &mut Criterion) {
+    let index = public_target_index(TARGETS, 5);
+    let mut group = c.benchmark_group("nn_public_vs_region(fig15b)");
+    for cells in [4u32, 64, 1024] {
+        let queries = query_regions(256, cells, 6 + cells as u64);
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, _| {
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                private_nn_public_data(&index, &queries[i], FilterCount::Four)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_data_region_size(c: &mut Criterion) {
+    let queries = query_regions(256, 64, 7);
+    let mut group = c.benchmark_group("nn_private_vs_data_region(fig16b)");
+    for cells in [4u32, 64, 256] {
+        let index = private_target_index(TARGETS, (cells, cells), 8 + cells as u64);
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, _| {
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                private_nn_private_data(
+                    &index,
+                    &queries[i],
+                    FilterCount::Four,
+                    PrivateBoundMode::Safe,
+                    0.0,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_public_filters,
+    bench_private_filters,
+    bench_query_region_size,
+    bench_data_region_size
+);
+criterion_main!(benches);

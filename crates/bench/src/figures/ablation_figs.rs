@@ -1,0 +1,110 @@
+//! Ablation experiments for the design choices DESIGN.md calls out:
+//!
+//! * Algorithm 1's neighbour-combination step (lines 5–13) vs a plain
+//!   single-cell climb — how much over-anonymisation the sibling unions
+//!   avoid;
+//! * the Section 5.2 middle-point bound: the paper's literal construction
+//!   vs the conservative furthest-corner bound (Safe), measured as
+//!   candidate-list inflation — the price of guaranteed inclusiveness.
+
+use casper_grid::{
+    bottom_up_cloak, bottom_up_cloak_cells_only, CellId, CompletePyramid, PyramidStructure, UserId,
+};
+use casper_qp::{private_nn_private_data, FilterCount, PrivateBoundMode};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::figures::Scale;
+use crate::workload::{
+    cloaked_query_regions, k_group_profile, loaded_pyramids, mean, private_target_index, Population,
+};
+use crate::Table;
+
+/// Ablation tables (run as figure id `ablation`).
+pub fn ablation(scale: &Scale) -> Vec<Table> {
+    vec![neighbor_sharing(scale), private_bound_mode(scale)]
+}
+
+fn neighbor_sharing(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "Ablation: Algorithm 1 neighbour sharing (avg k'/k, lower is tighter)",
+        &[
+            "k range",
+            "with sharing",
+            "cells only",
+            "area ratio (with/without)",
+        ],
+    );
+    for group in [(1u32, 10u32), (10, 50), (50, 100)] {
+        let pop = Population::new(scale.users, 0xAB1 + group.0 as u64, |rng| {
+            k_group_profile(rng, group)
+        });
+        let mut pyramid = CompletePyramid::new(9);
+        pop.register_into(&mut pyramid);
+        let mut acc_with = Vec::new();
+        let mut acc_without = Vec::new();
+        let mut area_with = 0.0;
+        let mut area_without = 0.0;
+        for i in 0..scale.queries.min(pop.len()) {
+            let profile = pop.profiles[i];
+            let start = CellId::at(8, pyramid.position_of(UserId(i as u64)).unwrap());
+            let with = bottom_up_cloak(&pyramid, profile, start);
+            let without = bottom_up_cloak_cells_only(&pyramid, profile, start);
+            acc_with.push(with.k_accuracy(&profile));
+            acc_without.push(without.k_accuracy(&profile));
+            area_with += with.area();
+            area_without += without.area();
+        }
+        t.push_row(vec![
+            format!("[{}-{}]", group.0, group.1),
+            format!("{:.2}", mean(&acc_with)),
+            format!("{:.2}", mean(&acc_without)),
+            format!("{:.2}", area_with / area_without.max(1e-12)),
+        ]);
+    }
+    t
+}
+
+fn private_bound_mode(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "Ablation: Sec 5.2 middle-point bound (candidate list size)",
+        &[
+            "data cells",
+            "paper-faithful",
+            "safe (inclusive)",
+            "inflation %",
+        ],
+    );
+    let users = scale.users.clamp(100, 5_000);
+    let (_, adaptive, pop) = loaded_pyramids(9, users, 0xAB2);
+    let queries = cloaked_query_regions(&adaptive, &pop, scale.queries);
+    let mut rng = StdRng::seed_from_u64(0xAB3);
+    for cells in [4u32, 64, 256] {
+        let index = private_target_index(scale.targets, (cells, cells), rng.gen());
+        let mut paper = Vec::new();
+        let mut safe = Vec::new();
+        for q in &queries {
+            paper.push(
+                private_nn_private_data(
+                    &index,
+                    q,
+                    FilterCount::Four,
+                    PrivateBoundMode::PaperFaithful,
+                    0.0,
+                )
+                .len() as f64,
+            );
+            safe.push(
+                private_nn_private_data(&index, q, FilterCount::Four, PrivateBoundMode::Safe, 0.0)
+                    .len() as f64,
+            );
+        }
+        let (mp, ms) = (mean(&paper), mean(&safe));
+        t.push_row(vec![
+            cells.to_string(),
+            format!("{mp:.1}"),
+            format!("{ms:.1}"),
+            format!("{:.1}", 100.0 * (ms - mp) / mp.max(1e-12)),
+        ]);
+    }
+    t
+}

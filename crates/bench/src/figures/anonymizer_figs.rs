@@ -1,0 +1,270 @@
+//! Figures 10–12: the location anonymizer experiments.
+
+use std::time::Instant;
+
+use casper_grid::{AdaptivePyramid, CompletePyramid, PyramidStructure, UserId};
+use rand::Rng;
+
+use crate::figures::{us, Scale};
+use crate::workload::{k_group_profile, loaded_pyramids, mean, Population};
+use crate::Table;
+
+/// Average wall-clock cloaking time per request over a sample of users.
+fn avg_cloak_time<P: PyramidStructure>(pyramid: &P, sample: usize) -> std::time::Duration {
+    let n = sample.min(pyramid.user_count()).max(1);
+    let start = Instant::now();
+    let mut found = 0usize;
+    for i in 0..n {
+        if pyramid.cloak_user(UserId(i as u64)).is_some() {
+            found += 1;
+        }
+    }
+    start.elapsed() / found.max(1) as u32
+}
+
+/// Average structure updates per location update over `ticks` mobility
+/// rounds.
+fn avg_update_cost<P: PyramidStructure>(
+    pyramid: &mut P,
+    population: &mut Population,
+    ticks: usize,
+) -> f64 {
+    let mut updates = 0u64;
+    let mut cost = 0u64;
+    for _ in 0..ticks.max(1) {
+        let (n, stats) = population.tick_into(pyramid, 1.0);
+        updates += n;
+        cost += stats.total();
+    }
+    if updates == 0 {
+        return 0.0;
+    }
+    cost as f64 / updates as f64
+}
+
+/// Figure 10: effect of the pyramid height (4–9 levels).
+pub fn fig10(scale: &Scale) -> Vec<Table> {
+    let heights: Vec<u8> = (4..=9).collect();
+
+    let mut t_cloak = Table::new(
+        "Figure 10a: avg cloaking time (us) vs pyramid height",
+        &["levels", "basic", "adaptive"],
+    );
+    let mut t_update = Table::new(
+        "Figure 10b: structure updates per location update vs pyramid height",
+        &["levels", "basic", "adaptive"],
+    );
+    for &h in &heights {
+        let (basic, adaptive, _) = loaded_pyramids(h, scale.users, 0xA11CE + h as u64);
+        t_cloak.push_row(vec![
+            h.to_string(),
+            us(avg_cloak_time(&basic, scale.queries)),
+            us(avg_cloak_time(&adaptive, scale.queries)),
+        ]);
+        // Fresh populations so both structures replay identical movement.
+        let (mut basic, _, mut pop_b) = loaded_pyramids(h, scale.users, 0xBEE + h as u64);
+        let (_, mut adaptive, mut pop_a) = loaded_pyramids(h, scale.users, 0xBEE + h as u64);
+        t_update.push_row(vec![
+            h.to_string(),
+            format!(
+                "{:.2}",
+                avg_update_cost(&mut basic, &mut pop_b, scale.ticks)
+            ),
+            format!(
+                "{:.2}",
+                avg_update_cost(&mut adaptive, &mut pop_a, scale.ticks)
+            ),
+        ]);
+    }
+
+    // Accuracy: k'/k per k-group (Figure 10c) and A'/A_min per A_min group
+    // (Figure 10d). Both pyramid variants produce the same regions here, so
+    // the basic one is measured.
+    let k_groups = [(1u32, 10u32), (50, 100), (150, 200)];
+    let mut t_k = Table::new(
+        "Figure 10c: k-anonymity accuracy k'/k vs pyramid height (A_min = 0)",
+        &["levels", "k 1-10", "k 50-100", "k 150-200"],
+    );
+    for &h in &heights {
+        let mut row = vec![h.to_string()];
+        for &group in &k_groups {
+            let pop = Population::new(scale.users, 0xCAFE + h as u64, |rng| {
+                k_group_profile(rng, group)
+            });
+            let mut pyramid = CompletePyramid::new(h);
+            pop.register_into(&mut pyramid);
+            let ratios: Vec<f64> = (0..scale.queries.min(pop.len()))
+                .filter_map(|i| {
+                    let uid = UserId(i as u64);
+                    let region = pyramid.cloak_user(uid)?;
+                    Some(region.k_accuracy(&pop.profiles[i]))
+                })
+                .collect();
+            row.push(format!("{:.2}", mean(&ratios)));
+        }
+        t_k.push_row(row);
+    }
+
+    let a_groups = [1e-4f64, 1e-3, 1e-2];
+    let mut t_a = Table::new(
+        "Figure 10d: area accuracy A'/A_min vs pyramid height (k = 1)",
+        &["levels", "A_min 1e-4", "A_min 1e-3", "A_min 1e-2"],
+    );
+    for &h in &heights {
+        let mut row = vec![h.to_string()];
+        for &a_min in &a_groups {
+            let pop = Population::new(scale.users, 0xD00D + h as u64, |rng| {
+                casper_grid::Profile::new(1, a_min * (0.5 + rng.gen_range(0.0..1.0)))
+            });
+            let mut pyramid = CompletePyramid::new(h);
+            pop.register_into(&mut pyramid);
+            let ratios: Vec<f64> = (0..scale.queries.min(pop.len()))
+                .filter_map(|i| {
+                    let uid = UserId(i as u64);
+                    let region = pyramid.cloak_user(uid)?;
+                    Some(region.area_accuracy(&pop.profiles[i]))
+                })
+                .collect();
+            row.push(format!("{:.2}", mean(&ratios)));
+        }
+        t_a.push_row(row);
+    }
+
+    vec![t_cloak, t_update, t_k, t_a]
+}
+
+/// Figure 11: scalability in the number of registered users.
+pub fn fig11(scale: &Scale) -> Vec<Table> {
+    let steps: Vec<usize> = [1, 2, 5, 10, 20, 50]
+        .iter()
+        .map(|&f| scale.users * f / 50)
+        .filter(|&n| n > 0)
+        .collect();
+    let mut t_cloak = Table::new(
+        "Figure 11a: avg cloaking time (us) vs number of users (9 levels)",
+        &["users", "basic", "adaptive"],
+    );
+    let mut t_update = Table::new(
+        "Figure 11b: structure updates per location update vs number of users",
+        &["users", "basic", "adaptive"],
+    );
+    for &n in &steps {
+        let (basic, adaptive, _) = loaded_pyramids(9, n, 0x11AA + n as u64);
+        t_cloak.push_row(vec![
+            n.to_string(),
+            us(avg_cloak_time(&basic, scale.queries)),
+            us(avg_cloak_time(&adaptive, scale.queries)),
+        ]);
+        let (mut basic, _, mut pop_b) = loaded_pyramids(9, n, 0x22BB + n as u64);
+        let (_, mut adaptive, mut pop_a) = loaded_pyramids(9, n, 0x22BB + n as u64);
+        t_update.push_row(vec![
+            n.to_string(),
+            format!(
+                "{:.2}",
+                avg_update_cost(&mut basic, &mut pop_b, scale.ticks)
+            ),
+            format!(
+                "{:.2}",
+                avg_update_cost(&mut adaptive, &mut pop_a, scale.ticks)
+            ),
+        ]);
+    }
+    vec![t_cloak, t_update]
+}
+
+/// The A_min companion of Figure 12 — the paper reports "similar figures
+/// and experiments give similar results for the case of changing A_min
+/// (not shown due to space limitation)"; here they are.
+fn fig12_amin(scale: &Scale) -> Table {
+    let groups: [(f64, f64); 4] = [(1e-5, 1e-4), (1e-4, 1e-3), (1e-3, 1e-2), (1e-2, 1e-1)];
+    let mut t = Table::new(
+        "Figure 12 (A_min variant): cloaking time (us) and update cost vs A_min range (k = 1)",
+        &[
+            "A_min range",
+            "basic us",
+            "adaptive us",
+            "basic upd",
+            "adaptive upd",
+        ],
+    );
+    for &(lo, hi) in &groups {
+        let build = |seed: u64| {
+            Population::new(scale.users, seed, |rng| {
+                casper_grid::Profile::new(1, rng.gen_range(lo..hi))
+            })
+        };
+        let pop = build(0x55EE + (lo * 1e6) as u64);
+        let mut basic = CompletePyramid::new(9);
+        let mut adaptive = AdaptivePyramid::new(9);
+        pop.register_into(&mut basic);
+        pop.register_into(&mut adaptive);
+        let cloak_b = avg_cloak_time(&basic, scale.queries);
+        let cloak_a = avg_cloak_time(&adaptive, scale.queries);
+        let mut pop_b = build(0x66FF + (lo * 1e6) as u64);
+        let mut basic = CompletePyramid::new(9);
+        pop_b.register_into(&mut basic);
+        let mut pop_a = build(0x66FF + (lo * 1e6) as u64);
+        let mut adaptive = AdaptivePyramid::new(9);
+        pop_a.register_into(&mut adaptive);
+        t.push_row(vec![
+            format!("[{lo:.0e}-{hi:.0e}]"),
+            us(cloak_b),
+            us(cloak_a),
+            format!(
+                "{:.2}",
+                avg_update_cost(&mut basic, &mut pop_b, scale.ticks)
+            ),
+            format!(
+                "{:.2}",
+                avg_update_cost(&mut adaptive, &mut pop_a, scale.ticks)
+            ),
+        ]);
+    }
+    t
+}
+
+/// Figure 12: effect of the k-anonymity requirement.
+pub fn fig12(scale: &Scale) -> Vec<Table> {
+    let groups = [(1u32, 10u32), (10, 50), (50, 100), (100, 150), (150, 200)];
+    let mut t_cloak = Table::new(
+        "Figure 12a: avg cloaking time (us) vs k range (9 levels)",
+        &["k range", "basic", "adaptive"],
+    );
+    let mut t_update = Table::new(
+        "Figure 12b: structure updates per location update vs k range",
+        &["k range", "basic", "adaptive"],
+    );
+    for &group in &groups {
+        let label = format!("[{}-{}]", group.0, group.1);
+        let build =
+            |seed: u64| Population::new(scale.users, seed, |rng| k_group_profile(rng, group));
+        let pop = build(0x33CC + group.0 as u64);
+        let mut basic = CompletePyramid::new(9);
+        let mut adaptive = AdaptivePyramid::new(9);
+        pop.register_into(&mut basic);
+        pop.register_into(&mut adaptive);
+        t_cloak.push_row(vec![
+            label.clone(),
+            us(avg_cloak_time(&basic, scale.queries)),
+            us(avg_cloak_time(&adaptive, scale.queries)),
+        ]);
+        let mut pop_b = build(0x44DD + group.0 as u64);
+        let mut basic = CompletePyramid::new(9);
+        pop_b.register_into(&mut basic);
+        let mut pop_a = build(0x44DD + group.0 as u64);
+        let mut adaptive = AdaptivePyramid::new(9);
+        pop_a.register_into(&mut adaptive);
+        t_update.push_row(vec![
+            label,
+            format!(
+                "{:.2}",
+                avg_update_cost(&mut basic, &mut pop_b, scale.ticks)
+            ),
+            format!(
+                "{:.2}",
+                avg_update_cost(&mut adaptive, &mut pop_a, scale.ticks)
+            ),
+        ]);
+    }
+    vec![t_cloak, t_update, fig12_amin(scale)]
+}

@@ -1,0 +1,90 @@
+//! Figure 17: the end-to-end performance of the assembled framework.
+
+use casper_anonymizer::AdaptiveAnonymizer;
+use casper_core::Casper;
+use casper_grid::UserId;
+use casper_index::ObjectId;
+use casper_mobility::uniform_targets;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::figures::Scale;
+use crate::workload::{k_group_profile, Population};
+use crate::Table;
+
+/// Figure 17: total end-to-end time split into anonymizer / query
+/// processor / transmission, per k group, for public (17-left columns)
+/// and private (17-right columns) target data. Uses the paper's
+/// configuration: adaptive anonymizer, four filters, 10K users, 10K
+/// targets, 64-byte records over 100 Mbps.
+pub fn fig17(scale: &Scale) -> Vec<Table> {
+    let groups: [(u32, u32); 8] = [
+        (1, 10),
+        (10, 20),
+        (20, 30),
+        (30, 40),
+        (40, 50),
+        (50, 100),
+        (100, 150),
+        (150, 200),
+    ];
+    let users = scale.users.clamp(50, 10_000);
+    let mut t_pub = Table::new(
+        "Figure 17 (public data): end-to-end time breakdown (us) vs k",
+        &["k range", "anonymizer", "query", "transmission", "total"],
+    );
+    let mut t_priv = Table::new(
+        "Figure 17 (private data): end-to-end time breakdown (us) vs k",
+        &["k range", "anonymizer", "query", "transmission", "total"],
+    );
+    for &group in &groups {
+        let label = format!("[{}-{}]", group.0, group.1);
+        let pop = Population::new(users, 0x1700 + group.0 as u64, |rng| {
+            k_group_profile(rng, group)
+        });
+        let mut casper = Casper::new(AdaptiveAnonymizer::adaptive(9));
+        let mut rng = StdRng::seed_from_u64(0x17AA);
+        casper.load_targets(
+            uniform_targets(scale.targets, &mut rng)
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| (ObjectId(i as u64), p)),
+        );
+        for i in 0..pop.len() {
+            casper.register_user(
+                UserId(i as u64),
+                pop.profiles[i],
+                pop.generator.object(i).position(),
+            );
+        }
+        let sample = scale.queries.min(pop.len());
+        let mut rows = [[0f64; 3]; 2]; // [public, private] x [anon, query, tx]
+        let mut counts = [0usize; 2];
+        for i in 0..sample {
+            if let Some(a) = casper.query_nn(UserId(i as u64)) {
+                rows[0][0] += a.breakdown.anonymizer.as_secs_f64();
+                rows[0][1] += a.breakdown.query.as_secs_f64();
+                rows[0][2] += a.breakdown.transmission.as_secs_f64();
+                counts[0] += 1;
+            }
+            if let Some(a) = casper.query_nn_private(UserId(i as u64)) {
+                rows[1][0] += a.breakdown.anonymizer.as_secs_f64();
+                rows[1][1] += a.breakdown.query.as_secs_f64();
+                rows[1][2] += a.breakdown.transmission.as_secs_f64();
+                counts[1] += 1;
+            }
+        }
+        for (which, table) in [(0usize, &mut t_pub), (1, &mut t_priv)] {
+            let n = counts[which].max(1) as f64;
+            let comp = |v: f64| format!("{:.2}", v / n * 1e6);
+            let total = rows[which].iter().sum::<f64>();
+            table.push_row(vec![
+                label.clone(),
+                comp(rows[which][0]),
+                comp(rows[which][1]),
+                comp(rows[which][2]),
+                comp(total),
+            ]);
+        }
+    }
+    vec![t_pub, t_priv]
+}

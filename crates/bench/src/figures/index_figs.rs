@@ -1,0 +1,78 @@
+//! Index-independence experiment (run as figure id `indexes`): the same
+//! Algorithm 2 query over all four access methods.
+//!
+//! Section 5.1.1: "our approach is independent from the nearest-neighbor
+//! and range query algorithms ... it can be employed using R-tree or any
+//! other methods". The candidate lists must be identical; only the query
+//! time varies with the substrate.
+
+use std::time::Instant;
+
+use casper_geometry::Rect;
+use casper_index::{BruteForce, Entry, KdTree, ObjectId, RTree, SpatialIndex, UniformGrid};
+use casper_mobility::uniform_targets;
+use casper_qp::{private_nn_public_data, FilterCount};
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::figures::Scale;
+use crate::workload::{mean, query_regions};
+use crate::Table;
+
+fn measure<I: SpatialIndex>(index: &I, queries: &[Rect]) -> (f64, f64, Vec<usize>) {
+    let mut sizes = Vec::with_capacity(queries.len());
+    let start = Instant::now();
+    for q in queries {
+        sizes.push(private_nn_public_data(index, q, FilterCount::Four).len());
+    }
+    let per_query_us = start.elapsed().as_secs_f64() * 1e6 / queries.len().max(1) as f64;
+    let avg = mean(&sizes.iter().map(|&s| s as f64).collect::<Vec<_>>());
+    (avg, per_query_us, sizes)
+}
+
+/// Index-comparison tables.
+pub fn indexes(scale: &Scale) -> Vec<Table> {
+    let mut rng = StdRng::seed_from_u64(0x1D7);
+    let entries: Vec<Entry> = uniform_targets(scale.targets, &mut rng)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| Entry::point(ObjectId(i as u64), p))
+        .collect();
+    let queries = query_regions(scale.queries, 64, 0x1D8);
+
+    let rtree = RTree::bulk_load(entries.iter().copied());
+    let kdtree = KdTree::bulk_load(entries.iter().copied());
+    let mut grid = UniformGrid::with_capacity_hint(scale.targets);
+    for e in &entries {
+        grid.insert(*e);
+    }
+    let brute = BruteForce::from_entries(entries.iter().copied());
+
+    // Warm caches so the first-measured index is not penalised.
+    let _ = measure(&rtree, &queries);
+    let _ = measure(&kdtree, &queries);
+    let _ = measure(&grid, &queries);
+
+    let (s_r, t_r, sizes_r) = measure(&rtree, &queries);
+    let (s_k, t_k, sizes_k) = measure(&kdtree, &queries);
+    let (s_g, t_g, sizes_g) = measure(&grid, &queries);
+    let (s_b, t_b, sizes_b) = measure(&brute, &queries);
+    // The paper's independence claim, enforced: identical candidate list
+    // sizes per query across every substrate.
+    assert_eq!(sizes_r, sizes_b, "R-tree diverged from the oracle");
+    assert_eq!(sizes_k, sizes_b, "kd-tree diverged from the oracle");
+    assert_eq!(sizes_g, sizes_b, "grid diverged from the oracle");
+
+    let mut t = Table::new(
+        "Index independence: 4-filter private NN over four access methods (identical candidates)",
+        &["index", "avg candidates", "query time (us)"],
+    );
+    for (name, s, time) in [
+        ("r-tree", s_r, t_r),
+        ("kd-tree", s_k, t_k),
+        ("uniform grid", s_g, t_g),
+        ("brute force", s_b, t_b),
+    ] {
+        t.push_row(vec![name.into(), format!("{s:.1}"), format!("{time:.2}")]);
+    }
+    vec![t]
+}

@@ -1,0 +1,119 @@
+//! Regeneration of every figure in the paper's evaluation (Section 6).
+//!
+//! Each `figN` function returns the figure's data series as [`Table`]s;
+//! the `figures` binary prints them. Figures are keyed by the paper's
+//! numbering:
+//!
+//! | id | experiment |
+//! |---|---|
+//! | `fig4`  | naive strategies vs Casper (motivating example) |
+//! | `fig10` | pyramid height: cloak time, update cost, k/A accuracy |
+//! | `fig11` | number of users: cloak time, update cost |
+//! | `fig12` | k ranges: cloak time, update cost |
+//! | `fig13` | #public targets: candidate list size, query time |
+//! | `fig14` | #private targets: candidate list size, query time |
+//! | `fig15` | cloaked query region size (public data) |
+//! | `fig16` | target data region size (private data) |
+//! | `fig17` | end-to-end time breakdown vs k |
+
+mod ablation_figs;
+mod anonymizer_figs;
+mod e2e_figs;
+mod index_figs;
+mod qp_figs;
+
+pub use ablation_figs::ablation;
+pub use anonymizer_figs::{fig10, fig11, fig12};
+pub use e2e_figs::fig17;
+pub use index_figs::indexes;
+pub use qp_figs::{fig13, fig14, fig15, fig16, fig4};
+
+use crate::Table;
+
+/// Experiment scale knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Registered mobile users (paper default: 50K).
+    pub users: usize,
+    /// Target objects (paper default: 10K).
+    pub targets: usize,
+    /// Queries sampled per data point.
+    pub queries: usize,
+    /// Mobility ticks driving the update-cost measurements.
+    pub ticks: usize,
+}
+
+impl Scale {
+    /// Reduced scale: finishes in minutes, preserves every trend.
+    pub fn reduced() -> Self {
+        Self {
+            users: 10_000,
+            targets: 10_000,
+            queries: 200,
+            ticks: 3,
+        }
+    }
+
+    /// The paper's scale (50K users; slower).
+    pub fn full() -> Self {
+        Self {
+            users: 50_000,
+            targets: 10_000,
+            queries: 500,
+            ticks: 5,
+        }
+    }
+}
+
+/// All figure ids, in paper order.
+pub const ALL_FIGURES: [&str; 11] = [
+    "fig4", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation",
+    "indexes",
+];
+
+/// Runs one figure by id.
+pub fn run(id: &str, scale: &Scale) -> Option<Vec<Table>> {
+    match id {
+        "fig4" => Some(fig4(scale)),
+        "fig10" => Some(fig10(scale)),
+        "fig11" => Some(fig11(scale)),
+        "fig12" => Some(fig12(scale)),
+        "fig13" => Some(fig13(scale)),
+        "fig14" => Some(fig14(scale)),
+        "fig15" => Some(fig15(scale)),
+        "fig16" => Some(fig16(scale)),
+        "fig17" => Some(fig17(scale)),
+        "ablation" => Some(ablation(scale)),
+        "indexes" => Some(indexes(scale)),
+        _ => None,
+    }
+}
+
+pub(crate) fn us(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke-run every figure at a tiny scale; the real validation lives
+    /// in EXPERIMENTS.md.
+    #[test]
+    fn every_figure_runs_at_tiny_scale() {
+        let scale = Scale {
+            users: 150,
+            targets: 200,
+            queries: 10,
+            ticks: 1,
+        };
+        for id in ALL_FIGURES {
+            let tables = run(id, &scale).unwrap_or_else(|| panic!("unknown figure {id}"));
+            assert!(!tables.is_empty(), "{id} produced no tables");
+            for t in &tables {
+                assert!(!t.rows.is_empty(), "{id}: table '{}' empty", t.title);
+            }
+        }
+        assert!(run("fig99", &scale).is_none());
+    }
+}

@@ -1,0 +1,228 @@
+//! Figures 4 and 13–16: the privacy-aware query processor experiments.
+
+use std::time::Instant;
+
+use casper_baselines::{center_nn, ship_all};
+use casper_geometry::{Point, Rect};
+use casper_index::{RTree, SpatialIndex};
+use casper_qp::{private_nn_private_data, private_nn_public_data, FilterCount, PrivateBoundMode};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::figures::Scale;
+use crate::workload::{
+    cloaked_query_regions, loaded_pyramids, mean, private_target_index, public_target_index,
+    query_regions,
+};
+use crate::Table;
+
+/// Measures candidate-list size and per-query time for one filter variant
+/// over public data.
+fn measure_public(index: &RTree, queries: &[Rect], fc: FilterCount) -> (f64, f64) {
+    let mut sizes = Vec::with_capacity(queries.len());
+    let start = Instant::now();
+    for q in queries {
+        sizes.push(private_nn_public_data(index, q, fc).len() as f64);
+    }
+    let per_query_us = start.elapsed().as_secs_f64() * 1e6 / queries.len().max(1) as f64;
+    (mean(&sizes), per_query_us)
+}
+
+/// Same over private (rectangular) data.
+fn measure_private(index: &RTree, queries: &[Rect], fc: FilterCount) -> (f64, f64) {
+    let mut sizes = Vec::with_capacity(queries.len());
+    let start = Instant::now();
+    for q in queries {
+        sizes.push(private_nn_private_data(index, q, fc, PrivateBoundMode::Safe, 0.0).len() as f64);
+    }
+    let per_query_us = start.elapsed().as_secs_f64() * 1e6 / queries.len().max(1) as f64;
+    (mean(&sizes), per_query_us)
+}
+
+fn filter_tables(
+    title_size: &str,
+    title_time: &str,
+    xlabel: &str,
+    points: &[(String, RTree, Vec<Rect>)],
+    private: bool,
+) -> Vec<Table> {
+    let mut t_size = Table::new(title_size, &[xlabel, "1 filter", "2 filters", "4 filters"]);
+    let mut t_time = Table::new(title_time, &[xlabel, "1 filter", "2 filters", "4 filters"]);
+    for (label, index, queries) in points {
+        let mut sizes = vec![label.clone()];
+        let mut times = vec![label.clone()];
+        for fc in FilterCount::ALL {
+            let (size, time) = if private {
+                measure_private(index, queries, fc)
+            } else {
+                measure_public(index, queries, fc)
+            };
+            sizes.push(format!("{size:.1}"));
+            times.push(format!("{time:.2}"));
+        }
+        t_size.push_row(sizes);
+        t_time.push_row(times);
+    }
+    vec![t_size, t_time]
+}
+
+/// Cloaked query regions drawn from real anonymizer output under the
+/// paper's default profiles.
+fn default_queries(scale: &Scale, seed: u64) -> Vec<Rect> {
+    let users = scale.users.clamp(100, 10_000);
+    let (_, adaptive, pop) = loaded_pyramids(9, users, seed);
+    cloaked_query_regions(&adaptive, &pop, scale.queries)
+}
+
+/// Figure 13: scalability in the number of **public** target objects.
+pub fn fig13(scale: &Scale) -> Vec<Table> {
+    let queries = default_queries(scale, 0x13);
+    let points: Vec<(String, RTree, Vec<Rect>)> = [1, 2, 5, 10]
+        .iter()
+        .map(|&f| {
+            let n = scale.targets * f / 10;
+            (
+                n.to_string(),
+                public_target_index(n, 0x130 + f as u64),
+                queries.clone(),
+            )
+        })
+        .collect();
+    filter_tables(
+        "Figure 13a: candidate list size vs number of public targets",
+        "Figure 13b: query processing time (us) vs number of public targets",
+        "targets",
+        &points,
+        false,
+    )
+}
+
+/// Figure 14: scalability in the number of **private** target objects
+/// (cloaked regions of 1–64 cells).
+pub fn fig14(scale: &Scale) -> Vec<Table> {
+    let queries = default_queries(scale, 0x14);
+    let points: Vec<(String, RTree, Vec<Rect>)> = [1, 2, 5, 10]
+        .iter()
+        .map(|&f| {
+            let n = scale.targets * f / 10;
+            (
+                n.to_string(),
+                private_target_index(n, (1, 64), 0x140 + f as u64),
+                queries.clone(),
+            )
+        })
+        .collect();
+    filter_tables(
+        "Figure 14a: candidate list size vs number of private targets",
+        "Figure 14b: query processing time (us) vs number of private targets",
+        "targets",
+        &points,
+        true,
+    )
+}
+
+/// Figure 15: effect of the cloaked query region size (public data).
+pub fn fig15(scale: &Scale) -> Vec<Table> {
+    let index_seed = 0x15;
+    let points: Vec<(String, RTree, Vec<Rect>)> = [4u32, 16, 64, 256, 1024]
+        .iter()
+        .map(|&cells| {
+            (
+                cells.to_string(),
+                public_target_index(scale.targets, index_seed),
+                query_regions(scale.queries, cells, 0x150 + cells as u64),
+            )
+        })
+        .collect();
+    filter_tables(
+        "Figure 15a: candidate list size vs cloaked query region (cells, public data)",
+        "Figure 15b: query processing time (us) vs cloaked query region (cells)",
+        "cells",
+        &points,
+        false,
+    )
+}
+
+/// Figure 16: effect of the target data region size (private data).
+pub fn fig16(scale: &Scale) -> Vec<Table> {
+    let queries = default_queries(scale, 0x16);
+    let points: Vec<(String, RTree, Vec<Rect>)> = [4u32, 16, 64, 256]
+        .iter()
+        .map(|&cells| {
+            (
+                cells.to_string(),
+                private_target_index(scale.targets, (cells, cells), 0x160 + cells as u64),
+                queries.clone(),
+            )
+        })
+        .collect();
+    filter_tables(
+        "Figure 16a: candidate list size vs target data region (cells, private data)",
+        "Figure 16b: query processing time (us) vs target data region (cells)",
+        "cells",
+        &points,
+        true,
+    )
+}
+
+/// Figure 4 (motivating example): the two naive strategies vs Casper's
+/// candidate list, quantified as answer correctness and records shipped.
+pub fn fig4(scale: &Scale) -> Vec<Table> {
+    let index = public_target_index(scale.targets, 0x04);
+    let mut rng = StdRng::seed_from_u64(0x40);
+    let mut t = Table::new(
+        "Figure 4: naive strategies vs Casper candidate list",
+        &["strategy", "exact answers %", "avg records shipped"],
+    );
+    let mut naive_correct = 0usize;
+    let mut casper_correct = 0usize;
+    let mut casper_records = Vec::new();
+    let n = scale.queries.max(1);
+    for _ in 0..n {
+        // A random cloaked region and a hidden true user position in it.
+        let region = Rect::centered_at(
+            Point::new(rng.gen(), rng.gen()),
+            rng.gen_range(0.01..0.15),
+            rng.gen_range(0.01..0.15),
+        )
+        .clamp_to(&Rect::unit());
+        let user = Point::new(
+            region.min.x + rng.gen::<f64>() * region.width(),
+            region.min.y + rng.gen::<f64>() * region.height(),
+        );
+        let exact = index
+            .nearest(user, casper_index::DistanceKind::Min)
+            .map(|nb| nb.entry.id);
+        // Figure 4b: nearest to the region centre.
+        if center_nn(&index, &region).map(|e| e.id) == exact {
+            naive_correct += 1;
+        }
+        // Casper: candidate list, refined at the client.
+        let list = private_nn_public_data(&index, &region, FilterCount::Four);
+        casper_records.push(list.len() as f64);
+        let refined = list
+            .candidates
+            .iter()
+            .min_by(|a, b| a.mbr.min.dist(user).total_cmp(&b.mbr.min.dist(user)))
+            .map(|e| e.id);
+        if refined == exact {
+            casper_correct += 1;
+        }
+    }
+    let pct = |c: usize| format!("{:.1}", 100.0 * c as f64 / n as f64);
+    t.push_row(vec![
+        "center-NN (Fig 4b)".into(),
+        pct(naive_correct),
+        "1.0".into(),
+    ]);
+    t.push_row(vec![
+        "ship-all (Fig 4c)".into(),
+        "100.0".into(),
+        format!("{:.1}", ship_all(&index).len() as f64),
+    ]);
+    t.push_row(vec![
+        "Casper 4 filters".into(),
+        pct(casper_correct),
+        format!("{:.1}", mean(&casper_records)),
+    ]);
+    vec![t]
+}

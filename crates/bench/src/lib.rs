@@ -1,0 +1,21 @@
+//! Benchmark harness for the Casper reproduction.
+//!
+//! Two entry points share the workload builders in [`workload`]:
+//!
+//! * the `figures` binary (`cargo run -p casper-bench --release --bin
+//!   figures -- all`) regenerates every figure of the paper's Section 6 as
+//!   a text table — see [`figures`];
+//! * the Criterion benches (`cargo bench`) measure the individual
+//!   operations each figure is built from.
+//!
+//! Experiment scale: the paper uses up to 50K users and 10K targets. The
+//! figure harness defaults to a reduced scale so `figures all` finishes in
+//! a couple of minutes on a laptop; pass `--full` for paper scale. The
+//! *shapes* (orderings, crossovers) reproduce at both scales; see
+//! EXPERIMENTS.md.
+
+pub mod figures;
+pub mod table;
+pub mod workload;
+
+pub use table::Table;

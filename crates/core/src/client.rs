@@ -1,0 +1,111 @@
+//! Client-side local refinement: "mobile users would locally evaluate
+//! their queries given the candidate list" (Section 3).
+//!
+//! The client is the only party that knows the exact user position, so the
+//! final step of every private query happens here.
+
+use casper_geometry::Point;
+use casper_index::Entry;
+use casper_qp::CandidateList;
+
+/// The client-side evaluator. Stateless — it only ever sees the user's
+/// own position and the server's candidate list.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CasperClient;
+
+impl CasperClient {
+    /// Creates a client.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Refines a public-data NN candidate list to the exact nearest
+    /// neighbour of `pos`. Returns `None` only for an empty list.
+    pub fn refine_nn(&self, pos: Point, list: &CandidateList) -> Option<Entry> {
+        list.candidates
+            .iter()
+            .min_by(|a, b| a.mbr.min_dist(pos).total_cmp(&b.mbr.min_dist(pos)))
+            .copied()
+    }
+
+    /// Refines a private-data NN candidate list: the targets are cloaked
+    /// regions, so the client ranks them by *expected* distance under the
+    /// uniformity guarantee (distance to the region centre), breaking ties
+    /// toward smaller worst-case (furthest-corner) distance.
+    pub fn refine_nn_private(&self, pos: Point, list: &CandidateList) -> Option<Entry> {
+        list.candidates
+            .iter()
+            .min_by(|a, b| {
+                let ka = (a.mbr.center().dist(pos), a.mbr.max_dist(pos));
+                let kb = (b.mbr.center().dist(pos), b.mbr.max_dist(pos));
+                ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .copied()
+    }
+
+    /// Refines a range candidate list: keeps the targets truly within
+    /// `radius` of the user's exact position.
+    pub fn refine_range(&self, pos: Point, radius: f64, list: &CandidateList) -> Vec<Entry> {
+        list.candidates
+            .iter()
+            .filter(|e| e.mbr.min_dist(pos) <= radius)
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casper_geometry::Rect;
+    use casper_index::ObjectId;
+
+    fn list_of(entries: Vec<Entry>) -> CandidateList {
+        CandidateList {
+            candidates: entries,
+            a_ext: Rect::unit(),
+            filters: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn refine_nn_picks_true_nearest() {
+        let c = CasperClient::new();
+        let list = list_of(vec![
+            Entry::point(ObjectId(1), Point::new(0.2, 0.2)),
+            Entry::point(ObjectId(2), Point::new(0.25, 0.21)),
+            Entry::point(ObjectId(3), Point::new(0.9, 0.9)),
+        ]);
+        let best = c.refine_nn(Point::new(0.26, 0.22), &list).unwrap();
+        assert_eq!(best.id, ObjectId(2));
+    }
+
+    #[test]
+    fn refine_nn_empty_list_is_none() {
+        let c = CasperClient::new();
+        assert!(c.refine_nn(Point::ORIGIN, &list_of(vec![])).is_none());
+    }
+
+    #[test]
+    fn refine_nn_private_prefers_expected_distance() {
+        let c = CasperClient::new();
+        let near = Entry::new(ObjectId(1), Rect::from_coords(0.3, 0.3, 0.4, 0.4));
+        let far = Entry::new(ObjectId(2), Rect::from_coords(0.7, 0.7, 0.8, 0.8));
+        let best = c
+            .refine_nn_private(Point::new(0.35, 0.35), &list_of(vec![far, near]))
+            .unwrap();
+        assert_eq!(best.id, ObjectId(1));
+    }
+
+    #[test]
+    fn refine_range_keeps_only_reachable() {
+        let c = CasperClient::new();
+        let list = list_of(vec![
+            Entry::point(ObjectId(1), Point::new(0.5, 0.55)),
+            Entry::point(ObjectId(2), Point::new(0.5, 0.9)),
+        ]);
+        let hits = c.refine_range(Point::new(0.5, 0.5), 0.1, &list);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, ObjectId(1));
+    }
+}

@@ -1,0 +1,91 @@
+//! The transmission cost model of Section 6.3.
+//!
+//! "For transmission time, we assume that a data record is of size 64
+//! bytes transmitted over a channel of bandwidth 100 Mbps." The candidate
+//! list is the dominant payload, so for strict privacy profiles
+//! transmission dominates the end-to-end time (Figure 17).
+
+use std::time::Duration;
+
+/// A fixed-rate channel shipping fixed-size records.
+///
+/// ```
+/// use casper_core::TransmissionModel;
+///
+/// let model = TransmissionModel::default(); // 64 B records @ 100 Mbps
+/// let t = model.time_for_records(1_000);
+/// assert!((t.as_secs_f64() - 0.00512).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransmissionModel {
+    /// Size of one data record in bytes.
+    pub record_bytes: u64,
+    /// Channel bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+}
+
+impl Default for TransmissionModel {
+    /// The paper's parameters: 64-byte records, 100 Mbps.
+    fn default() -> Self {
+        Self {
+            record_bytes: 64,
+            bandwidth_bps: 100_000_000,
+        }
+    }
+}
+
+impl TransmissionModel {
+    /// Creates a model with explicit parameters.
+    pub fn new(record_bytes: u64, bandwidth_bps: u64) -> Self {
+        assert!(bandwidth_bps > 0, "bandwidth must be positive");
+        Self {
+            record_bytes,
+            bandwidth_bps,
+        }
+    }
+
+    /// Time to transmit `records` data records.
+    pub fn time_for_records(&self, records: usize) -> Duration {
+        let bits = records as u64 * self.record_bytes * 8;
+        Duration::from_secs_f64(bits as f64 / self.bandwidth_bps as f64)
+    }
+
+    /// Time to transmit `bytes` raw bytes.
+    pub fn time_for_bytes(&self, bytes: usize) -> Duration {
+        Duration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let m = TransmissionModel::default();
+        assert_eq!(m.record_bytes, 64);
+        assert_eq!(m.bandwidth_bps, 100_000_000);
+    }
+
+    #[test]
+    fn one_record_takes_512_bits_over_the_channel() {
+        let m = TransmissionModel::default();
+        let t = m.time_for_records(1);
+        assert!((t.as_secs_f64() - 512.0 / 1e8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn time_scales_linearly() {
+        let m = TransmissionModel::default();
+        let t1 = m.time_for_records(10).as_secs_f64();
+        let t2 = m.time_for_records(20).as_secs_f64();
+        assert!((t2 - 2.0 * t1).abs() < 1e-15);
+        assert_eq!(m.time_for_records(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn bytes_and_records_agree() {
+        let m = TransmissionModel::default();
+        assert_eq!(m.time_for_records(3), m.time_for_bytes(192));
+    }
+}

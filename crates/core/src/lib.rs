@@ -1,0 +1,52 @@
+//! The **Casper framework** (Figure 1): everything between a mobile user's
+//! location-aware device and her query answer.
+//!
+//! ```text
+//!  mobile user ──(uid, x, y, profile)──▶ location anonymizer (trusted)
+//!                                              │ cloaked regions,
+//!                                              │ pseudonyms
+//!                                              ▼
+//!                              privacy-aware query processor
+//!                              inside the location-based server
+//!                                              │ candidate list
+//!                                              ▼
+//!  mobile user ◀──────(local refinement)── anonymizer routes back
+//! ```
+//!
+//! * [`CasperServer`] — the location-based database server: a *public*
+//!   store of exact target objects and a *private* store of cloaked user
+//!   regions, with the `casper_qp` privacy-aware query processor embedded.
+//! * [`CasperClient`] — the client-side refinement step: evaluating the
+//!   exact answer locally from the candidate list.
+//! * [`Casper`] — the end-to-end pipeline combining an anonymizer, the
+//!   server and the transmission model; produces the per-component time
+//!   breakdown of Figure 17.
+//! * [`TransmissionModel`] — Section 6.3's cost model: 64-byte records
+//!   over a 100 Mbps channel.
+//! * [`wire`] — the message encoding between anonymizer and server
+//!   (fixed-size records matching the cost model).
+//! * [`StreamingAnonymizer`] — a concurrent ingestion front that absorbs
+//!   high-rate location-update streams on a worker thread.
+
+#![warn(missing_docs)]
+
+mod client;
+mod continuous;
+mod cost;
+pub mod net;
+mod pipeline;
+mod policy;
+mod server;
+mod sharded;
+pub mod snapshot;
+mod streaming;
+pub mod wire;
+
+pub use client::CasperClient;
+pub use continuous::ContinuousNn;
+pub use cost::TransmissionModel;
+pub use pipeline::{Casper, EndToEndAnswer, EndToEndBreakdown};
+pub use policy::FilterPolicy;
+pub use server::{CasperServer, Category, PrivateHandle, QueryStats};
+pub use sharded::ShardedAnonymizer;
+pub use streaming::StreamingAnonymizer;

@@ -1,0 +1,355 @@
+//! A real network boundary between the anonymizer and the server.
+//!
+//! Everything else in this crate models the anonymizer↔server hop with the
+//! Section 6.3 cost model; this module makes the hop real: a blocking TCP
+//! server hosting a [`CasperServer`] and a client the (trusted-side)
+//! anonymizer uses to push cloaked updates and run cloaked queries. Frames
+//! are the [`crate::wire`] records behind a 4-byte length prefix, so the
+//! bytes on the wire are exactly what the cost model prices.
+//!
+//! The implementation is deliberately std-only (threads + blocking
+//! sockets): the workspace's dependency budget has no async runtime, and a
+//! thread per connection is plenty for a reproduction server.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use casper_qp::FilterCount;
+use parking_lot::RwLock;
+
+use crate::wire::{decode, encode, Message, WireError};
+use crate::{CasperServer, PrivateHandle};
+
+/// Errors surfaced by the networked endpoints.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The peer sent an undecodable frame.
+    Wire(WireError),
+    /// The peer answered with an unexpected message kind.
+    Protocol(&'static str),
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Wire(e) => write!(f, "wire: {e}"),
+            NetError::Protocol(what) => write!(f, "protocol: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(payload.len() as u32).to_be_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let mut buf = vec![0u8; u32::from_be_bytes(len) as usize];
+    stream.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// The networked privacy-aware server: accepts anonymizer connections and
+/// serves cloaked updates and queries against a shared [`CasperServer`].
+pub struct NetworkServer {
+    addr: SocketAddr,
+    shared: Arc<RwLock<CasperServer>>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl NetworkServer {
+    /// Starts serving `server` on an OS-assigned localhost port.
+    pub fn spawn(server: CasperServer, filters: FilterCount) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(RwLock::new(server));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (shared2, stop2) = (Arc::clone(&shared), Arc::clone(&stop));
+        // A short accept timeout lets the loop notice the stop flag.
+        listener.set_nonblocking(true)?;
+        let accept_thread = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let shared3 = Arc::clone(&shared2);
+                        let stop3 = Arc::clone(&stop2);
+                        // Workers are detached: they exit on client
+                        // disconnect or when the stop flag is raised
+                        // (observed through the read timeout), so shutdown
+                        // never blocks on an idle connection.
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, shared3, stop3, filters);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(Self {
+            addr,
+            shared,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Runs a read-only closure against the hosted server (diagnostics).
+    pub fn with_server<R>(&self, f: impl FnOnce(&CasperServer) -> R) -> R {
+        f(&self.shared.read())
+    }
+
+    /// Runs a mutating closure against the hosted server (e.g. loading
+    /// public targets out-of-band).
+    pub fn with_server_mut<R>(&self, f: impl FnOnce(&mut CasperServer) -> R) -> R {
+        f(&mut self.shared.write())
+    }
+
+    /// Stops accepting and joins the accept thread. Connections already
+    /// established are drained by their worker threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NetworkServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, surviving read timeouts (progress is
+/// kept across them) and honouring the stop flag. Returns `Ok(false)` on
+/// shutdown or on a clean EOF before the first byte.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> Result<bool, NetError> {
+    let mut done = 0usize;
+    while done < buf.len() {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(false);
+        }
+        match stream.read(&mut buf[done..]) {
+            Ok(0) => {
+                if done == 0 {
+                    return Ok(false); // clean disconnect at a frame boundary
+                }
+                return Err(std::io::Error::from(std::io::ErrorKind::UnexpectedEof).into());
+            }
+            Ok(n) => done += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(true)
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    shared: Arc<RwLock<CasperServer>>,
+    stop: Arc<AtomicBool>,
+    filters: FilterCount,
+) -> Result<(), NetError> {
+    stream.set_nodelay(true).ok();
+    // Periodic read timeouts let the worker observe the stop flag while
+    // the client is idle.
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(50)))
+        .ok();
+    loop {
+        let mut len = [0u8; 4];
+        if !read_full(&mut stream, &mut len, &stop)? {
+            return Ok(());
+        }
+        let mut frame = vec![0u8; u32::from_be_bytes(len) as usize];
+        if !read_full(&mut stream, &mut frame, &stop)? {
+            return Ok(());
+        }
+        match decode(Bytes::from(frame))? {
+            Message::CloakedUpdate { handle, region } => {
+                shared
+                    .write()
+                    .upsert_private_region(PrivateHandle(handle), region);
+                // Updates are fire-and-forget: ack with an empty list so
+                // the client can pipeline synchronously.
+                write_frame(&mut stream, &encode(&Message::Candidates(Vec::new())))?;
+            }
+            Message::CloakedQuery { region, .. } => {
+                let (list, _) = shared.read().nn_public(&region, filters);
+                write_frame(&mut stream, &encode(&Message::Candidates(list.candidates)))?;
+            }
+            Message::Candidates(_) => {
+                return Err(NetError::Protocol("client sent a candidate list"));
+            }
+        }
+    }
+}
+
+/// The anonymizer-side connection to a [`NetworkServer`].
+pub struct NetworkClient {
+    stream: TcpStream,
+}
+
+impl NetworkClient {
+    /// Connects to a server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self { stream })
+    }
+
+    fn round_trip(&mut self, msg: &Message) -> Result<Message, NetError> {
+        write_frame(&mut self.stream, &encode(msg))?;
+        let frame = read_frame(&mut self.stream)?;
+        Ok(decode(Bytes::from(frame))?)
+    }
+
+    /// Pushes a cloaked location update for `handle`.
+    pub fn push_update(
+        &mut self,
+        handle: PrivateHandle,
+        region: casper_geometry::Rect,
+    ) -> Result<(), NetError> {
+        match self.round_trip(&Message::CloakedUpdate {
+            handle: handle.0,
+            region,
+        })? {
+            Message::Candidates(_) => Ok(()),
+            _ => Err(NetError::Protocol("unexpected ack")),
+        }
+    }
+
+    /// Runs a cloaked NN query, returning the candidate list.
+    pub fn query_nn(
+        &mut self,
+        pseudonym: u64,
+        region: casper_geometry::Rect,
+    ) -> Result<Vec<casper_index::Entry>, NetError> {
+        match self.round_trip(&Message::CloakedQuery { pseudonym, region })? {
+            Message::Candidates(list) => Ok(list),
+            _ => Err(NetError::Protocol("expected a candidate list")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casper_geometry::{Point, Rect};
+    use casper_index::ObjectId;
+
+    fn server_with_targets(n: u64) -> CasperServer {
+        let mut s = CasperServer::new();
+        s.load_public_targets((0..n).map(|i| {
+            (
+                ObjectId(i),
+                Point::new((i % 10) as f64 / 10.0 + 0.05, (i / 10) as f64 / 10.0 + 0.05),
+            )
+        }));
+        s
+    }
+
+    #[test]
+    fn query_round_trip_over_tcp() {
+        let server = NetworkServer::spawn(server_with_targets(100), FilterCount::Four).unwrap();
+        let mut client = NetworkClient::connect(server.addr()).unwrap();
+        let region = Rect::from_coords(0.42, 0.42, 0.58, 0.58);
+        let list = client.query_nn(1, region).unwrap();
+        assert!(!list.is_empty());
+        assert!(list.len() < 100, "candidate list must prune");
+        // The same query locally gives the same candidates.
+        let local = server.with_server(|s| s.nn_public(&region, FilterCount::Four).0);
+        let mut a: Vec<u64> = list.iter().map(|e| e.id.0).collect();
+        let mut b: Vec<u64> = local.candidates.iter().map(|e| e.id.0).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        server.shutdown();
+    }
+
+    #[test]
+    fn updates_become_visible_to_admin_queries() {
+        let server = NetworkServer::spawn(CasperServer::new(), FilterCount::Four).unwrap();
+        let mut client = NetworkClient::connect(server.addr()).unwrap();
+        for i in 0..25u64 {
+            client
+                .push_update(PrivateHandle(i), Rect::from_coords(0.1, 0.1, 0.2, 0.2))
+                .unwrap();
+        }
+        assert_eq!(server.with_server(|s| s.private_count()), 25);
+        // Re-pushing the same handles replaces, not duplicates.
+        client
+            .push_update(PrivateHandle(0), Rect::from_coords(0.8, 0.8, 0.9, 0.9))
+            .unwrap();
+        assert_eq!(server.with_server(|s| s.private_count()), 25);
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_clients_share_one_server() {
+        let server = NetworkServer::spawn(server_with_targets(50), FilterCount::Four).unwrap();
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            handles.push(std::thread::spawn(move || {
+                let mut client = NetworkClient::connect(addr).unwrap();
+                let mut total = 0usize;
+                for i in 0..50 {
+                    let x = 0.1 + ((t * 50 + i) % 8) as f64 / 10.0;
+                    let region = Rect::from_coords(x, 0.4, x + 0.1, 0.5);
+                    total += client.query_nn(i as u64, region).unwrap().len();
+                }
+                total
+            }));
+        }
+        for h in handles {
+            assert!(h.join().unwrap() > 0);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_clean_while_clients_exist() {
+        let server = NetworkServer::spawn(server_with_targets(10), FilterCount::One).unwrap();
+        let _client = NetworkClient::connect(server.addr()).unwrap();
+        server.shutdown(); // must not hang on the idle connection
+    }
+}

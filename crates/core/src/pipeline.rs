@@ -1,0 +1,360 @@
+//! The end-to-end Casper pipeline (Section 6.3): anonymizer → server →
+//! transmission → client, with the per-component time breakdown of
+//! Figure 17.
+
+use std::time::{Duration, Instant};
+
+use casper_anonymizer::Anonymizer;
+use casper_geometry::{Point, Rect};
+use casper_grid::{MaintenanceStats, Profile, PyramidStructure, UserId};
+use casper_index::{Entry, ObjectId};
+use casper_qp::{FilterCount, PrivateBoundMode, RangeAnswer};
+
+use crate::{CasperClient, CasperServer, PrivateHandle, TransmissionModel};
+
+/// Per-component timing of one end-to-end query — the three stacked bars
+/// of Figure 17.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EndToEndBreakdown {
+    /// Time spent at the location anonymizer (cloaking).
+    pub anonymizer: Duration,
+    /// Time spent at the privacy-aware query processor.
+    pub query: Duration,
+    /// Modelled transmission time of the candidate list
+    /// (64-byte records over 100 Mbps by default).
+    pub transmission: Duration,
+}
+
+impl EndToEndBreakdown {
+    /// Total end-to-end time.
+    pub fn total(&self) -> Duration {
+        self.anonymizer + self.query + self.transmission
+    }
+}
+
+/// The outcome of one end-to-end private query.
+#[derive(Debug, Clone)]
+pub struct EndToEndAnswer {
+    /// The exact answer, refined locally by the client.
+    pub exact: Option<Entry>,
+    /// Size of the candidate list that was transmitted.
+    pub candidates: usize,
+    /// Component timing.
+    pub breakdown: EndToEndBreakdown,
+}
+
+/// The assembled Casper framework.
+///
+/// Generic over the pyramid structure so harnesses can compare the basic
+/// and adaptive anonymizers end to end.
+#[derive(Debug)]
+pub struct Casper<P: PyramidStructure> {
+    anonymizer: Anonymizer<P>,
+    server: CasperServer,
+    client: CasperClient,
+    transmission: TransmissionModel,
+    filters: FilterCount,
+}
+
+impl<P: PyramidStructure> Casper<P> {
+    /// Assembles the framework around an anonymizer; the paper's defaults
+    /// (4 filters, 64-byte records over 100 Mbps) apply.
+    pub fn new(anonymizer: Anonymizer<P>) -> Self {
+        Self {
+            anonymizer,
+            server: CasperServer::new(),
+            client: CasperClient::new(),
+            transmission: TransmissionModel::default(),
+            filters: FilterCount::Four,
+        }
+    }
+
+    /// Overrides the filter-count variant of the query processor.
+    pub fn with_filters(mut self, filters: FilterCount) -> Self {
+        self.filters = filters;
+        self
+    }
+
+    /// Overrides the transmission model.
+    pub fn with_transmission(mut self, model: TransmissionModel) -> Self {
+        self.transmission = model;
+        self
+    }
+
+    /// Loads the public target objects (gas stations, restaurants, ...).
+    pub fn load_targets(&mut self, targets: impl IntoIterator<Item = (ObjectId, Point)>) {
+        self.server.load_public_targets(targets);
+    }
+
+    /// Registers a mobile user: exact data stay at the anonymizer; the
+    /// server receives only the cloaked region under an opaque handle.
+    pub fn register_user(&mut self, uid: UserId, profile: Profile, pos: Point) {
+        self.anonymizer.register(uid, profile, pos);
+        self.push_region(uid);
+    }
+
+    /// Processes a location update, refreshing the server-side cloaked
+    /// region.
+    pub fn move_user(&mut self, uid: UserId, pos: Point) -> MaintenanceStats {
+        let stats = self.anonymizer.update_location(uid, pos);
+        self.push_region(uid);
+        stats
+    }
+
+    /// Changes a user's privacy profile at runtime.
+    pub fn change_profile(&mut self, uid: UserId, profile: Profile) {
+        self.anonymizer.update_profile(uid, profile);
+        self.push_region(uid);
+    }
+
+    /// Removes a user from the system entirely.
+    pub fn sign_off(&mut self, uid: UserId) {
+        self.anonymizer.deregister(uid);
+        self.server.remove_private_region(PrivateHandle(uid.0));
+    }
+
+    fn push_region(&mut self, uid: UserId) {
+        if let Some(region) = self.anonymizer.cloak_region_of(uid) {
+            self.server
+                .upsert_private_region(PrivateHandle(uid.0), region.rect);
+        }
+    }
+
+    /// A private NN query over public data, end to end: cloak the
+    /// querying user, run Algorithm 2, model the candidate-list
+    /// transmission, refine locally at the client.
+    pub fn query_nn(&mut self, uid: UserId) -> Option<EndToEndAnswer> {
+        self.query_nn_with(uid, self.filters)
+    }
+
+    /// [`Casper::query_nn`] with an explicit filter-count variant —
+    /// the hook used by [`crate::FilterPolicy`]-driven deployments.
+    pub fn query_nn_with(&mut self, uid: UserId, filters: FilterCount) -> Option<EndToEndAnswer> {
+        let t0 = Instant::now();
+        let query = self.anonymizer.cloak_query(uid)?;
+        let anonymizer_time = t0.elapsed();
+        let (list, qstats) = self.server.nn_public(&query.region, filters);
+        let transmission = self.transmission.time_for_records(list.len());
+        // Local refinement with the exact position, which only the
+        // user-side knows (here: read back through the trusted
+        // anonymizer).
+        let pos = self.anonymizer.pyramid().position_of(uid)?;
+        let exact = self.client.refine_nn(pos, &list);
+        self.anonymizer.resolve(query.pseudonym);
+        Some(EndToEndAnswer {
+            exact,
+            candidates: list.len(),
+            breakdown: EndToEndBreakdown {
+                anonymizer: anonymizer_time,
+                query: qstats.processing,
+                transmission,
+            },
+        })
+    }
+
+    /// A private NN query over *private* data ("where is my nearest
+    /// buddy?"), end to end.
+    pub fn query_nn_private(&mut self, uid: UserId) -> Option<EndToEndAnswer> {
+        let t0 = Instant::now();
+        let query = self.anonymizer.cloak_query(uid)?;
+        let anonymizer_time = t0.elapsed();
+        let (mut list, qstats) =
+            self.server
+                .nn_private(&query.region, self.filters, PrivateBoundMode::Safe);
+        // The user's own cloaked region is stored too; drop it from her
+        // buddy candidates.
+        list.candidates.retain(|e| e.id != ObjectId(uid.0));
+        let transmission = self.transmission.time_for_records(list.len());
+        let pos = self.anonymizer.pyramid().position_of(uid)?;
+        let exact = self.client.refine_nn_private(pos, &list);
+        self.anonymizer.resolve(query.pseudonym);
+        Some(EndToEndAnswer {
+            exact,
+            candidates: list.len(),
+            breakdown: EndToEndBreakdown {
+                anonymizer: anonymizer_time,
+                query: qstats.processing,
+                transmission,
+            },
+        })
+    }
+
+    /// A public (administrator) count query over the private store: goes
+    /// straight to the server, bypassing the anonymizer (Figure 1).
+    pub fn admin_count(&self, area: &Rect) -> RangeAnswer {
+        self.server.range_private(area)
+    }
+
+    /// Read access to the anonymizer (harnesses, tests).
+    pub fn anonymizer(&self) -> &Anonymizer<P> {
+        &self.anonymizer
+    }
+
+    /// The configured filter-count variant.
+    pub fn filter_count(&self) -> FilterCount {
+        self.filters
+    }
+
+    /// Read access to the server (harnesses, tests).
+    pub fn server(&self) -> &CasperServer {
+        &self.server
+    }
+
+    /// Mutable access to the anonymizer (e.g. for cloaking queries whose
+    /// candidate lists are processed outside the built-in pipeline).
+    pub fn anonymizer_mut(&mut self) -> &mut Anonymizer<P> {
+        &mut self.anonymizer
+    }
+
+    /// Mutable access to the server (e.g. categorised target loading).
+    pub fn server_mut(&mut self) -> &mut CasperServer {
+        &mut self.server
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casper_anonymizer::{AdaptiveAnonymizer, BasicAnonymizer};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn uid(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    fn populated_casper() -> Casper<casper_grid::AdaptivePyramid> {
+        let mut c = Casper::new(AdaptiveAnonymizer::adaptive(8));
+        let mut rng = StdRng::seed_from_u64(1);
+        c.load_targets((0..500).map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen()))));
+        for i in 0..100 {
+            c.register_user(
+                uid(i),
+                Profile::new(rng.gen_range(1..10), 0.0),
+                Point::new(rng.gen(), rng.gen()),
+            );
+        }
+        c
+    }
+
+    #[test]
+    fn query_nn_returns_true_nearest_target() {
+        let mut c = populated_casper();
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..20 {
+            let answer = c.query_nn(uid(i)).unwrap();
+            let pos = c.anonymizer().pyramid().position_of(uid(i)).unwrap();
+            // Verify against a brute-force scan over all 500 targets.
+            let exact = answer.exact.unwrap();
+            let exact_dist = exact.mbr.min.dist(pos);
+            // Re-derive targets deterministically.
+            let mut check_rng = StdRng::seed_from_u64(1);
+            let best = (0..500)
+                .map(|_| Point::new(check_rng.gen(), check_rng.gen()).dist(pos))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                (exact_dist - best).abs() < 1e-9,
+                "user {i}: refined {exact_dist} vs true {best}"
+            );
+            let _ = rng.gen::<f64>();
+        }
+    }
+
+    #[test]
+    fn breakdown_components_are_consistent() {
+        let mut c = populated_casper();
+        let a = c.query_nn(uid(0)).unwrap();
+        assert!(a.candidates > 0);
+        assert_eq!(
+            a.breakdown.total(),
+            a.breakdown.anonymizer + a.breakdown.query + a.breakdown.transmission
+        );
+        // Transmission = 512 bits per candidate at 100 Mbps.
+        let expected = TransmissionModel::default().time_for_records(a.candidates);
+        assert_eq!(a.breakdown.transmission, expected);
+    }
+
+    #[test]
+    fn server_never_sees_exact_positions() {
+        let mut c = Casper::new(BasicAnonymizer::basic(7));
+        c.register_user(uid(1), Profile::new(1, 0.0), Point::new(0.31, 0.62));
+        // The stored private region is a full grid cell around the user.
+        let ans = c.admin_count(&Rect::from_coords(0.3, 0.6, 0.35, 0.65));
+        assert_eq!(ans.max_count(), 1);
+        let region = &ans.overlapping[0].mbr;
+        assert!(
+            region.area() > 0.0,
+            "server must hold a region, not a point"
+        );
+        assert!(region.contains(Point::new(0.31, 0.62)));
+    }
+
+    #[test]
+    fn buddy_query_excludes_self() {
+        let mut c = Casper::new(AdaptiveAnonymizer::adaptive(7));
+        c.register_user(uid(1), Profile::new(1, 0.0), Point::new(0.5, 0.5));
+        c.register_user(uid(2), Profile::new(1, 0.0), Point::new(0.52, 0.5));
+        c.register_user(uid(3), Profile::new(1, 0.0), Point::new(0.9, 0.9));
+        let a = c.query_nn_private(uid(1)).unwrap();
+        let buddy = a.exact.unwrap();
+        assert_ne!(buddy.id, ObjectId(1), "own region must be excluded");
+        assert_eq!(buddy.id, ObjectId(2), "nearest buddy is user 2");
+    }
+
+    #[test]
+    fn movement_refreshes_server_snapshot() {
+        let mut c = Casper::new(BasicAnonymizer::basic(7));
+        c.register_user(uid(1), Profile::new(1, 0.0), Point::new(0.1, 0.1));
+        assert_eq!(
+            c.admin_count(&Rect::from_coords(0.0, 0.0, 0.2, 0.2))
+                .max_count(),
+            1
+        );
+        c.move_user(uid(1), Point::new(0.9, 0.9));
+        assert_eq!(
+            c.admin_count(&Rect::from_coords(0.0, 0.0, 0.2, 0.2))
+                .max_count(),
+            0
+        );
+        assert_eq!(
+            c.admin_count(&Rect::from_coords(0.8, 0.8, 1.0, 1.0))
+                .max_count(),
+            1
+        );
+        c.sign_off(uid(1));
+        assert_eq!(c.server().private_count(), 0);
+    }
+
+    #[test]
+    fn stricter_profiles_yield_larger_candidate_lists() {
+        let mut relaxed = Casper::new(BasicAnonymizer::basic(8));
+        let mut strict = Casper::new(BasicAnonymizer::basic(8));
+        let mut rng = StdRng::seed_from_u64(5);
+        let targets: Vec<(ObjectId, Point)> = (0..2000)
+            .map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen())))
+            .collect();
+        relaxed.load_targets(targets.iter().copied());
+        strict.load_targets(targets.iter().copied());
+        let positions: Vec<Point> = (0..200).map(|_| Point::new(rng.gen(), rng.gen())).collect();
+        for (i, &p) in positions.iter().enumerate() {
+            relaxed.register_user(uid(i as u64), Profile::new(1, 0.0), p);
+            strict.register_user(uid(i as u64), Profile::new(100, 0.0), p);
+        }
+        let mut total_relaxed = 0usize;
+        let mut total_strict = 0usize;
+        for i in 0..50 {
+            total_relaxed += relaxed.query_nn(uid(i)).unwrap().candidates;
+            total_strict += strict.query_nn(uid(i)).unwrap().candidates;
+        }
+        assert!(
+            total_strict > total_relaxed,
+            "strict {total_strict} should exceed relaxed {total_relaxed}"
+        );
+    }
+
+    #[test]
+    fn unknown_user_query_is_none() {
+        let mut c = Casper::new(BasicAnonymizer::basic(6));
+        assert!(c.query_nn(uid(404)).is_none());
+        assert!(c.query_nn_private(uid(404)).is_none());
+    }
+}

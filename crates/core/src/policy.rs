@@ -1,0 +1,214 @@
+//! Adaptive filter-count selection.
+//!
+//! Section 6.3's conclusion is a trade-off: more filters cost query time
+//! but shrink the candidate list and therefore the (dominating)
+//! transmission time — "although less than four filters reduces the query
+//! processing time, ... it will not increase the total performance". Which
+//! side wins depends on the workload (data kind, privacy strictness,
+//! channel bandwidth). [`FilterPolicy`] learns it online: an
+//! explore-then-exploit scheme keeps exponentially-weighted averages of
+//! query time and candidate count per variant and picks the variant with
+//! the lowest *estimated end-to-end cost* under the configured
+//! transmission model.
+
+use std::time::Duration;
+
+use casper_qp::FilterCount;
+
+use crate::TransmissionModel;
+
+/// Exponential moving-average weight for new observations.
+const ALPHA: f64 = 0.2;
+/// Observations of every variant required before exploitation starts.
+const WARMUP: u64 = 3;
+/// During exploitation, one query in `EXPLORE_EVERY` still explores a
+/// round-robin variant so the policy tracks workload drift.
+const EXPLORE_EVERY: u64 = 16;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct VariantStats {
+    avg_candidates: f64,
+    avg_query_secs: f64,
+    samples: u64,
+}
+
+impl VariantStats {
+    fn record(&mut self, candidates: usize, query: Duration) {
+        let c = candidates as f64;
+        let q = query.as_secs_f64();
+        if self.samples == 0 {
+            self.avg_candidates = c;
+            self.avg_query_secs = q;
+        } else {
+            self.avg_candidates = (1.0 - ALPHA) * self.avg_candidates + ALPHA * c;
+            self.avg_query_secs = (1.0 - ALPHA) * self.avg_query_secs + ALPHA * q;
+        }
+        self.samples += 1;
+    }
+}
+
+/// Online selector for the 1/2/4-filter variants.
+#[derive(Debug, Clone)]
+pub struct FilterPolicy {
+    model: TransmissionModel,
+    stats: [VariantStats; 3],
+    decisions: u64,
+}
+
+fn slot(fc: FilterCount) -> usize {
+    match fc {
+        FilterCount::One => 0,
+        FilterCount::Two => 1,
+        FilterCount::Four => 2,
+    }
+}
+
+impl FilterPolicy {
+    /// Creates a policy pricing transmission with `model`.
+    pub fn new(model: TransmissionModel) -> Self {
+        Self {
+            model,
+            stats: [VariantStats::default(); 3],
+            decisions: 0,
+        }
+    }
+
+    /// Picks the variant for the next query.
+    pub fn choose(&mut self) -> FilterCount {
+        self.decisions += 1;
+        let unexplored = FilterCount::ALL
+            .into_iter()
+            .find(|&fc| self.stats[slot(fc)].samples < WARMUP);
+        if let Some(fc) = unexplored {
+            return fc;
+        }
+        if self.decisions.is_multiple_of(EXPLORE_EVERY) {
+            // Periodic exploration keeps estimates fresh.
+            return FilterCount::ALL[(self.decisions / EXPLORE_EVERY) as usize % 3];
+        }
+        FilterCount::ALL
+            .into_iter()
+            .min_by(|&a, &b| {
+                self.estimated_total(a)
+                    .partial_cmp(&self.estimated_total(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("ALL is non-empty")
+    }
+
+    /// Feeds back one query's outcome.
+    pub fn record(&mut self, fc: FilterCount, candidates: usize, query: Duration) {
+        self.stats[slot(fc)].record(candidates, query);
+    }
+
+    /// Estimated end-to-end seconds for a variant
+    /// (query time + modelled transmission of the candidate list).
+    pub fn estimated_total(&self, fc: FilterCount) -> f64 {
+        let s = &self.stats[slot(fc)];
+        s.avg_query_secs
+            + self
+                .model
+                .time_for_records(s.avg_candidates.round() as usize)
+                .as_secs_f64()
+    }
+
+    /// Observations recorded for a variant.
+    pub fn samples(&self, fc: FilterCount) -> u64 {
+        self.stats[slot(fc)].samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(
+        policy: &mut FilterPolicy,
+        rounds: usize,
+        outcome: impl Fn(FilterCount) -> (usize, Duration),
+    ) {
+        for _ in 0..rounds {
+            let fc = policy.choose();
+            let (cands, q) = outcome(fc);
+            policy.record(fc, cands, q);
+        }
+    }
+
+    fn exploit_choice(policy: &mut FilterPolicy) -> FilterCount {
+        // Sample many choices and return the majority (skipping the
+        // periodic exploration slots).
+        let mut counts = [0usize; 3];
+        for _ in 0..32 {
+            counts[slot(policy.choose())] += 1;
+        }
+        *[FilterCount::One, FilterCount::Two, FilterCount::Four]
+            .iter()
+            .max_by_key(|&&fc| counts[slot(fc)])
+            .unwrap()
+    }
+
+    #[test]
+    fn warmup_tries_every_variant() {
+        let mut p = FilterPolicy::new(TransmissionModel::default());
+        feed(&mut p, 9, |_| (10, Duration::from_micros(5)));
+        for fc in FilterCount::ALL {
+            assert!(p.samples(fc) >= WARMUP, "{fc:?} under-explored");
+        }
+    }
+
+    #[test]
+    fn transmission_dominant_workload_prefers_four_filters() {
+        // Strict privacy: huge candidate lists; 4 filters halve them.
+        let mut p = FilterPolicy::new(TransmissionModel::default());
+        feed(&mut p, 64, |fc| match fc {
+            FilterCount::One => (4000, Duration::from_micros(4)),
+            FilterCount::Two => (3600, Duration::from_micros(6)),
+            FilterCount::Four => (2000, Duration::from_micros(10)),
+        });
+        assert_eq!(exploit_choice(&mut p), FilterCount::Four);
+    }
+
+    #[test]
+    fn query_dominant_workload_prefers_one_filter() {
+        // Tiny candidate lists on a fast channel: the extra NN searches
+        // are the whole cost.
+        let mut p = FilterPolicy::new(TransmissionModel::new(64, 10_000_000_000));
+        feed(&mut p, 64, |fc| match fc {
+            FilterCount::One => (12, Duration::from_micros(3)),
+            FilterCount::Two => (11, Duration::from_micros(6)),
+            FilterCount::Four => (8, Duration::from_micros(12)),
+        });
+        assert_eq!(exploit_choice(&mut p), FilterCount::One);
+    }
+
+    #[test]
+    fn policy_adapts_to_workload_drift() {
+        let mut p = FilterPolicy::new(TransmissionModel::default());
+        // Phase 1: transmission-dominant.
+        feed(&mut p, 64, |fc| match fc {
+            FilterCount::Four => (2000, Duration::from_micros(10)),
+            _ => (4000, Duration::from_micros(5)),
+        });
+        assert_eq!(exploit_choice(&mut p), FilterCount::Four);
+        // Phase 2: the data set shrank (tiny lists) and the 4-filter NN
+        // probes became expensive; the periodic exploration slots must
+        // eventually flip the estimate.
+        feed(&mut p, 2_000, |fc| match fc {
+            FilterCount::One => (5, Duration::from_micros(2)),
+            FilterCount::Two => (5, Duration::from_micros(40)),
+            FilterCount::Four => (4, Duration::from_micros(120)),
+        });
+        assert_eq!(exploit_choice(&mut p), FilterCount::One);
+    }
+
+    #[test]
+    fn estimated_total_combines_both_terms() {
+        let mut p = FilterPolicy::new(TransmissionModel::default());
+        p.record(FilterCount::One, 1000, Duration::from_micros(5));
+        let est = p.estimated_total(FilterCount::One);
+        let tx = TransmissionModel::default()
+            .time_for_records(1000)
+            .as_secs_f64();
+        assert!((est - (5e-6 + tx)).abs() < 1e-12);
+    }
+}

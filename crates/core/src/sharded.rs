@@ -1,0 +1,397 @@
+//! A sharded location anonymizer: horizontal scale-out of the trusted
+//! third party.
+//!
+//! One anonymizer process per metro area does not survive planet-scale
+//! deployments. This module splits the pyramid at a fixed `shard_level`:
+//! the `4^shard_level` quadrants each run their own [`AdaptivePyramid`]
+//! over their sub-space (re-normalised to the unit square), and a thin
+//! coordinator keeps only the *top* of the pyramid — per-shard population
+//! counts — to serve requests that cannot be satisfied inside one shard.
+//!
+//! Cloaking therefore stays local for the overwhelming majority of users
+//! (their `k` is met inside the shard) and escalates to the coordinator's
+//! coarse levels only for very strict profiles, preserving Algorithm 1's
+//! guarantees globally:
+//!
+//! * regions still contain ≥ k users (counted across shards when
+//!   escalated);
+//! * regions are still grid-aligned cells of the *global* pyramid, so the
+//!   quality guarantee (no data-dependent boundaries) is unchanged.
+
+use casper_geometry::{Point, Rect};
+use casper_grid::{
+    bottom_up_cloak, AdaptivePyramid, CellId, CellStore, CloakedRegion, MaintenanceStats, Profile,
+    PyramidStructure, UserId,
+};
+
+/// The sharded anonymizer: `4^shard_level` adaptive shard pyramids plus a
+/// count-only coordinator for the levels above `shard_level`.
+#[derive(Debug)]
+pub struct ShardedAnonymizer {
+    shard_level: u8,
+    /// Row-major `2^shard_level x 2^shard_level` shard pyramids.
+    shards: Vec<AdaptivePyramid>,
+    /// Users' current shard and *original* (global-units) profile: the
+    /// shard holds a rescaled copy, and rescaling is lossy when `a_min`
+    /// exceeds the shard area, so escalation uses this original.
+    homes: casper_grid::FastMap<UserId, (u16, Profile)>,
+}
+
+/// Coordinator view: cell counts above (and at) the shard level, derived
+/// from shard populations.
+struct TopCounts<'a> {
+    anonymizer: &'a ShardedAnonymizer,
+}
+
+impl CellStore for TopCounts<'_> {
+    fn count(&self, cid: CellId) -> u32 {
+        let a = self.anonymizer;
+        assert!(
+            cid.level <= a.shard_level,
+            "coordinator only holds top levels"
+        );
+        // Sum the populations of every shard under `cid`.
+        let span = 1u32 << (a.shard_level - cid.level);
+        let extent = CellId::grid_extent(a.shard_level);
+        let mut total = 0u32;
+        for sy in (cid.y * span)..((cid.y + 1) * span) {
+            for sx in (cid.x * span)..((cid.x + 1) * span) {
+                total += a.shards[(sy * extent + sx) as usize].user_count() as u32;
+            }
+        }
+        total
+    }
+}
+
+impl ShardedAnonymizer {
+    /// Creates a sharded anonymizer equivalent to one global pyramid of
+    /// `global_height` levels, split at `shard_level`
+    /// (`1 <= shard_level < global_height`).
+    pub fn new(global_height: u8, shard_level: u8) -> Self {
+        assert!(
+            shard_level >= 1 && shard_level < global_height,
+            "need at least one coordinator level and one shard level"
+        );
+        let shard_count = 1usize << (2 * shard_level);
+        Self {
+            shard_level,
+            shards: (0..shard_count)
+                .map(|_| AdaptivePyramid::new(global_height - shard_level))
+                .collect(),
+            homes: casper_grid::FastMap::default(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total registered users across all shards.
+    pub fn user_count(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// Users currently homed in shard `idx`.
+    pub fn shard_population(&self, idx: usize) -> usize {
+        self.shards[idx].user_count()
+    }
+
+    fn shard_cell(&self, pos: Point) -> CellId {
+        CellId::at(self.shard_level, pos)
+    }
+
+    fn shard_index(&self, cell: CellId) -> u16 {
+        (cell.y * CellId::grid_extent(self.shard_level) + cell.x) as u16
+    }
+
+    /// Maps a global position into the shard's unit space.
+    fn to_local(&self, shard: CellId, pos: Point) -> Point {
+        let r = shard.rect();
+        Point::new(
+            ((pos.x - r.min.x) / r.width()).clamp(0.0, 1.0),
+            ((pos.y - r.min.y) / r.height()).clamp(0.0, 1.0),
+        )
+    }
+
+    /// Maps a shard-local rectangle back into global coordinates.
+    fn to_global(&self, shard: CellId, local: Rect) -> Rect {
+        let r = shard.rect();
+        Rect::from_coords(
+            r.min.x + local.min.x * r.width(),
+            r.min.y + local.min.y * r.height(),
+            r.min.x + local.max.x * r.width(),
+            r.min.y + local.max.y * r.height(),
+        )
+    }
+
+    /// A profile re-expressed in shard-local area units.
+    fn local_profile(&self, shard: CellId, profile: Profile) -> Profile {
+        Profile::new(profile.k, (profile.a_min / shard.area()).min(1.0))
+    }
+
+    /// Registers a user (positions are sanitised like the single-node
+    /// anonymizer: non-finite rejected, out-of-space clamped).
+    pub fn register(&mut self, uid: UserId, profile: Profile, pos: Point) -> MaintenanceStats {
+        if !pos.is_finite() {
+            return MaintenanceStats::ZERO;
+        }
+        let pos = Point::new(pos.x.clamp(0.0, 1.0), pos.y.clamp(0.0, 1.0));
+        if self.homes.contains_key(&uid) {
+            let mut s = self.update_profile(uid, profile);
+            s += self.update_location(uid, pos);
+            return s;
+        }
+        let cell = self.shard_cell(pos);
+        let idx = self.shard_index(cell);
+        let local = self.to_local(cell, pos);
+        let lp = self.local_profile(cell, profile);
+        let stats = self.shards[idx as usize].register(uid, lp, local);
+        self.homes.insert(uid, (idx, profile));
+        stats
+    }
+
+    /// Processes a location update, migrating the user between shards
+    /// when she crosses a shard boundary.
+    pub fn update_location(&mut self, uid: UserId, pos: Point) -> MaintenanceStats {
+        if !pos.is_finite() {
+            return MaintenanceStats::ZERO;
+        }
+        let pos = Point::new(pos.x.clamp(0.0, 1.0), pos.y.clamp(0.0, 1.0));
+        let Some(&(home, profile)) = self.homes.get(&uid) else {
+            return MaintenanceStats::ZERO;
+        };
+        let cell = self.shard_cell(pos);
+        let idx = self.shard_index(cell);
+        let local = self.to_local(cell, pos);
+        if idx == home {
+            return self.shards[idx as usize].update_location(uid, local);
+        }
+        // Cross-shard migration: deregister + register (shards are
+        // equal-sized, so the rescaled profile is identical).
+        let lp = self.local_profile(cell, profile);
+        let mut stats = self.shards[home as usize].deregister(uid);
+        stats += self.shards[idx as usize].register(uid, lp, local);
+        self.homes.insert(uid, (idx, profile));
+        stats
+    }
+
+    /// Changes a user's privacy profile.
+    pub fn update_profile(&mut self, uid: UserId, profile: Profile) -> MaintenanceStats {
+        let Some(&(home, _)) = self.homes.get(&uid) else {
+            return MaintenanceStats::ZERO;
+        };
+        let extent = CellId::grid_extent(self.shard_level);
+        let cell = CellId::new(self.shard_level, home as u32 % extent, home as u32 / extent);
+        let lp = self.local_profile(cell, profile);
+        self.homes.insert(uid, (home, profile));
+        self.shards[home as usize].update_profile(uid, lp)
+    }
+
+    /// Removes a user.
+    pub fn deregister(&mut self, uid: UserId) -> MaintenanceStats {
+        let Some((home, _)) = self.homes.remove(&uid) else {
+            return MaintenanceStats::ZERO;
+        };
+        self.shards[home as usize].deregister(uid)
+    }
+
+    /// Cloaks a registered user: local Algorithm 1 inside her shard, with
+    /// coordinator escalation when the shard cannot satisfy the profile.
+    pub fn cloak_user(&self, uid: UserId) -> Option<CloakedRegion> {
+        let &(home, global_profile) = self.homes.get(&uid)?;
+        let extent = CellId::grid_extent(self.shard_level);
+        let cell = CellId::new(self.shard_level, home as u32 % extent, home as u32 / extent);
+        let shard = &self.shards[home as usize];
+        let local_profile = shard.profile_of(uid)?;
+        let local = shard.cloak_user(uid)?;
+        // The local check uses shard-local units; additionally the global
+        // a_min must be reachable inside the shard at all.
+        let globally_ok = global_profile.a_min <= cell.area() + 1e-15;
+        if globally_ok && local_profile.satisfied_by(local.user_count, local.area()) {
+            // Satisfied locally: translate back to global coordinates.
+            let rect = self.to_global(cell, local.rect);
+            return Some(CloakedRegion {
+                rect,
+                cells: Vec::new(), // shard-local ids are not global cells
+                user_count: local.user_count,
+                level: self.shard_level + local.level,
+                levels_climbed: local.levels_climbed,
+            });
+        }
+        // Escalate: climb the coordinator's top levels from the shard
+        // cell, with the original (global-units) profile.
+        let top = TopCounts { anonymizer: self };
+        Some(bottom_up_cloak(&top, global_profile, cell))
+    }
+
+    /// Structural cost across all shards (cells materialised).
+    pub fn maintained_cells(&self) -> usize {
+        self.shards.iter().map(|s| s.maintained_cells()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn uid(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let s = ShardedAnonymizer::new(9, 2);
+        assert_eq!(s.shard_count(), 16);
+        assert_eq!(s.user_count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shard_level_must_leave_room() {
+        ShardedAnonymizer::new(4, 4);
+    }
+
+    #[test]
+    fn users_land_in_the_right_shard() {
+        let mut s = ShardedAnonymizer::new(6, 1); // 4 shards (quadrants)
+        s.register(uid(1), Profile::RELAXED, Point::new(0.1, 0.1)); // bottom-left
+        s.register(uid(2), Profile::RELAXED, Point::new(0.9, 0.1)); // bottom-right
+        s.register(uid(3), Profile::RELAXED, Point::new(0.1, 0.9)); // top-left
+        assert_eq!(s.shard_population(0), 1);
+        assert_eq!(s.shard_population(1), 1);
+        assert_eq!(s.shard_population(2), 1);
+        assert_eq!(s.shard_population(3), 0);
+        assert_eq!(s.user_count(), 3);
+    }
+
+    #[test]
+    fn local_cloak_contains_user_and_meets_k() {
+        let mut s = ShardedAnonymizer::new(8, 2);
+        // A cluster inside one shard.
+        for i in 0..20 {
+            s.register(
+                uid(i),
+                Profile::new(5, 0.0),
+                Point::new(0.10 + i as f64 * 1e-3, 0.12),
+            );
+        }
+        let region = s.cloak_user(uid(0)).unwrap();
+        assert!(region.user_count >= 5);
+        assert!(region.rect.contains(Point::new(0.10, 0.12)));
+        // Local cloaks stay inside the shard quadrant.
+        assert!(CellId::new(2, 0, 0).rect().contains_rect(&region.rect));
+    }
+
+    #[test]
+    fn strict_profiles_escalate_to_the_coordinator() {
+        let mut s = ShardedAnonymizer::new(8, 2);
+        // 10 users in one shard, 30 elsewhere; k = 25 cannot be satisfied
+        // locally.
+        for i in 0..10 {
+            s.register(
+                uid(i),
+                Profile::new(25, 0.0),
+                Point::new(0.05 + i as f64 * 1e-3, 0.05),
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 10..40 {
+            s.register(
+                uid(i),
+                Profile::new(1, 0.0),
+                Point::new(rng.gen(), rng.gen()),
+            );
+        }
+        let region = s.cloak_user(uid(0)).unwrap();
+        assert!(
+            region.user_count >= 25,
+            "escalated cloak must count users across shards ({})",
+            region.user_count
+        );
+        assert!(region.rect.contains(Point::new(0.05, 0.05)));
+        // The escalated region is a coordinator-level cell (at or above
+        // the shard level).
+        assert!(region.level <= 2);
+    }
+
+    #[test]
+    fn cross_shard_movement_migrates_users() {
+        let mut s = ShardedAnonymizer::new(7, 1);
+        s.register(uid(1), Profile::new(1, 0.0), Point::new(0.1, 0.1));
+        assert_eq!(s.shard_population(0), 1);
+        s.update_location(uid(1), Point::new(0.9, 0.9));
+        assert_eq!(s.shard_population(0), 0);
+        assert_eq!(s.shard_population(3), 1);
+        let region = s.cloak_user(uid(1)).unwrap();
+        assert!(region.rect.contains(Point::new(0.9, 0.9)));
+    }
+
+    #[test]
+    fn a_min_is_respected_through_rescaling() {
+        let mut s = ShardedAnonymizer::new(9, 2);
+        // a_min of 1/64 of the space = 1/4 of one (1/16-area) shard.
+        let a_min = 1.0 / 64.0;
+        for i in 0..10 {
+            s.register(
+                uid(i),
+                Profile::new(1, a_min),
+                Point::new(0.3 + i as f64 * 1e-3, 0.3),
+            );
+        }
+        let region = s.cloak_user(uid(0)).unwrap();
+        assert!(
+            region.area() >= a_min - 1e-12,
+            "area {} < required {a_min}",
+            region.area()
+        );
+    }
+
+    #[test]
+    fn matches_single_node_guarantees_under_churn() {
+        let mut sharded = ShardedAnonymizer::new(8, 2);
+        let mut single = AdaptivePyramid::new(8);
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..400u64 {
+            let p = Point::new(rng.gen(), rng.gen());
+            let prof = Profile::new(rng.gen_range(1..20), 0.0);
+            sharded.register(uid(i), prof, p);
+            single.register(uid(i), prof, p);
+        }
+        for _ in 0..500 {
+            let id = uid(rng.gen_range(0..400));
+            let p = Point::new(rng.gen(), rng.gen());
+            sharded.update_location(id, p);
+            single.update_location(id, p);
+        }
+        assert_eq!(sharded.user_count(), single.user_count());
+        for i in 0..400u64 {
+            let prof = single.profile_of(uid(i)).unwrap();
+            let region = sharded.cloak_user(uid(i)).unwrap();
+            assert!(
+                region.user_count >= prof.k,
+                "user {i}: sharded cloak broke k-anonymity ({} < {})",
+                region.user_count,
+                prof.k
+            );
+            let pos = single.position_of(uid(i)).unwrap();
+            assert!(region.rect.contains(pos), "user {i}: region misses user");
+        }
+    }
+
+    #[test]
+    fn unknown_and_invalid_inputs() {
+        let mut s = ShardedAnonymizer::new(6, 1);
+        assert!(s.cloak_user(uid(9)).is_none());
+        assert_eq!(
+            s.update_location(uid(9), Point::new(0.5, 0.5)),
+            MaintenanceStats::ZERO
+        );
+        assert_eq!(
+            s.register(uid(1), Profile::RELAXED, Point::new(f64::NAN, 0.0)),
+            MaintenanceStats::ZERO
+        );
+        assert_eq!(s.user_count(), 0);
+    }
+}

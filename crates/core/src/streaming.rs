@@ -1,0 +1,205 @@
+//! Concurrent ingestion front for the location anonymizer.
+//!
+//! The paper's efficiency requirement (Section 4) demands the anonymizer
+//! "cope with the continuous movement of large numbers of mobile users".
+//! This module absorbs a high-rate update stream on a dedicated worker
+//! thread behind a bounded crossbeam channel, so producers (the location
+//! receivers) never block on pyramid maintenance, while queries take a
+//! short read lock on the shared structure.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use casper_anonymizer::Anonymizer;
+use casper_geometry::Point;
+use casper_grid::{Profile, PyramidStructure, UserId};
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::RwLock;
+
+enum Command {
+    Register(UserId, Profile, Point),
+    Update(UserId, Point),
+    Reprofile(UserId, Profile),
+    Deregister(UserId),
+    Flush(Sender<()>),
+    Stop,
+}
+
+/// A thread-backed anonymizer: producers enqueue maintenance commands,
+/// a single worker applies them in order, and readers snapshot through a
+/// read lock.
+pub struct StreamingAnonymizer<P: PyramidStructure + Send + Sync + 'static> {
+    shared: Arc<RwLock<Anonymizer<P>>>,
+    tx: Sender<Command>,
+    worker: Option<JoinHandle<u64>>,
+}
+
+impl<P: PyramidStructure + Send + Sync + 'static> StreamingAnonymizer<P> {
+    /// Wraps an anonymizer; `queue` bounds the in-flight update backlog
+    /// (producers block only when the worker is that far behind).
+    pub fn spawn(anonymizer: Anonymizer<P>, queue: usize) -> Self {
+        let shared = Arc::new(RwLock::new(anonymizer));
+        let (tx, rx) = bounded::<Command>(queue.max(1));
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::spawn(move || {
+            let mut processed = 0u64;
+            while let Ok(cmd) = rx.recv() {
+                match cmd {
+                    Command::Register(uid, profile, pos) => {
+                        worker_shared.write().register(uid, profile, pos);
+                        processed += 1;
+                    }
+                    Command::Update(uid, pos) => {
+                        worker_shared.write().update_location(uid, pos);
+                        processed += 1;
+                    }
+                    Command::Reprofile(uid, profile) => {
+                        worker_shared.write().update_profile(uid, profile);
+                        processed += 1;
+                    }
+                    Command::Deregister(uid) => {
+                        worker_shared.write().deregister(uid);
+                        processed += 1;
+                    }
+                    Command::Flush(ack) => {
+                        let _ = ack.send(());
+                    }
+                    Command::Stop => break,
+                }
+            }
+            processed
+        });
+        Self {
+            shared,
+            tx,
+            worker: Some(worker),
+        }
+    }
+
+    /// Enqueues a registration.
+    pub fn register(&self, uid: UserId, profile: Profile, pos: Point) {
+        let _ = self.tx.send(Command::Register(uid, profile, pos));
+    }
+
+    /// Enqueues a location update `(uid, x, y)`.
+    pub fn update_location(&self, uid: UserId, pos: Point) {
+        let _ = self.tx.send(Command::Update(uid, pos));
+    }
+
+    /// Enqueues a profile change.
+    pub fn update_profile(&self, uid: UserId, profile: Profile) {
+        let _ = self.tx.send(Command::Reprofile(uid, profile));
+    }
+
+    /// Enqueues a deregistration.
+    pub fn deregister(&self, uid: UserId) {
+        let _ = self.tx.send(Command::Deregister(uid));
+    }
+
+    /// Blocks until every previously enqueued command has been applied.
+    pub fn flush(&self) {
+        let (ack_tx, ack_rx) = bounded(1);
+        if self.tx.send(Command::Flush(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
+    }
+
+    /// Runs a read-only closure against the anonymizer (e.g. cloaking a
+    /// snapshot). Concurrent with ingestion; takes a read lock.
+    pub fn read<R>(&self, f: impl FnOnce(&Anonymizer<P>) -> R) -> R {
+        f(&self.shared.read())
+    }
+
+    /// Runs a mutating closure (e.g. cloaking, which mints pseudonyms).
+    pub fn write<R>(&self, f: impl FnOnce(&mut Anonymizer<P>) -> R) -> R {
+        f(&mut self.shared.write())
+    }
+
+    /// Stops the worker and returns how many maintenance commands it
+    /// applied.
+    pub fn shutdown(mut self) -> u64 {
+        let _ = self.tx.send(Command::Stop);
+        self.worker
+            .take()
+            .map(|w| w.join().unwrap_or(0))
+            .unwrap_or(0)
+    }
+}
+
+impl<P: PyramidStructure + Send + Sync + 'static> Drop for StreamingAnonymizer<P> {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Command::Stop);
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casper_anonymizer::BasicAnonymizer;
+
+    fn uid(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    #[test]
+    fn ingests_and_flushes() {
+        let s = StreamingAnonymizer::spawn(BasicAnonymizer::basic(6), 128);
+        for i in 0..50 {
+            s.register(uid(i), Profile::new(1, 0.0), Point::new(0.5, 0.5));
+        }
+        s.flush();
+        assert_eq!(s.read(|a| a.user_count()), 50);
+        let processed = s.shutdown();
+        assert_eq!(processed, 50);
+    }
+
+    #[test]
+    fn concurrent_producers_do_not_lose_updates() {
+        let s = Arc::new(StreamingAnonymizer::spawn(BasicAnonymizer::basic(6), 1024));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s2 = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    let id = t * 100 + i;
+                    s2.register(uid(id), Profile::new(2, 0.0), Point::new(0.3, 0.7));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        s.flush();
+        assert_eq!(s.read(|a| a.user_count()), 400);
+    }
+
+    #[test]
+    fn reads_interleave_with_ingestion() {
+        let s = StreamingAnonymizer::spawn(BasicAnonymizer::basic(7), 64);
+        s.register(uid(1), Profile::new(1, 0.0), Point::new(0.2, 0.2));
+        s.flush();
+        // Cloak while new updates stream in.
+        for i in 2..20 {
+            s.update_location(uid(1), Point::new(0.2 + i as f64 * 0.001, 0.2));
+            let region = s.write(|a| a.cloak_query(uid(1)));
+            assert!(region.is_some());
+        }
+        s.flush();
+        assert_eq!(s.read(|a| a.user_count()), 1);
+    }
+
+    #[test]
+    fn full_lifecycle_commands() {
+        let s = StreamingAnonymizer::spawn(BasicAnonymizer::basic(6), 16);
+        s.register(uid(1), Profile::new(1, 0.0), Point::new(0.1, 0.1));
+        s.update_location(uid(1), Point::new(0.9, 0.9));
+        s.update_profile(uid(1), Profile::new(5, 0.0));
+        s.deregister(uid(1));
+        s.flush();
+        assert_eq!(s.read(|a| a.user_count()), 0);
+        assert_eq!(s.shutdown(), 4);
+    }
+}

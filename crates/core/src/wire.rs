@@ -1,0 +1,254 @@
+//! Wire format between the anonymizer and the server.
+//!
+//! Every message is framed into fixed-size 64-byte records — the record
+//! size the Section 6.3 cost model assumes — so the modelled transmission
+//! time of a message equals
+//! `TransmissionModel::time_for_records(record count)` exactly.
+//!
+//! Layout (big-endian):
+//!
+//! * **region record** (updates/queries): tag `u8`, pad `[u8; 7]`,
+//!   pseudonym/handle `u64`, rect `4 x f64`, pad to 64.
+//! * **candidate record** (answers): tag `u8`, pad `[u8; 7]`, object id
+//!   `u64`, rect `4 x f64`, pad to 64.
+//!
+//! A candidate list is a `u32` count followed by that many candidate
+//! records.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use casper_geometry::{Point, Rect};
+use casper_index::{Entry, ObjectId};
+
+/// One record is 64 bytes (Section 6.3).
+pub const RECORD_BYTES: usize = 64;
+
+const TAG_UPDATE: u8 = 1;
+const TAG_QUERY: u8 = 2;
+const TAG_CANDIDATE: u8 = 3;
+
+/// Messages exchanged between the anonymizer and the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A cloaked location update: opaque handle + region.
+    CloakedUpdate {
+        /// Opaque private-store handle.
+        handle: u64,
+        /// The cloaked spatial region.
+        region: Rect,
+    },
+    /// A cloaked NN query: single-use pseudonym + query region.
+    CloakedQuery {
+        /// Single-use pseudonym for routing the answer back.
+        pseudonym: u64,
+        /// The cloaked query region.
+        region: Rect,
+    },
+    /// The candidate list shipped back to the client.
+    Candidates(Vec<Entry>),
+}
+
+/// Errors surfaced while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended mid-record.
+    Truncated,
+    /// Unknown record tag.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadTag(t) => write!(f, "unknown record tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_rect(buf: &mut BytesMut, r: &Rect) {
+    buf.put_f64(r.min.x);
+    buf.put_f64(r.min.y);
+    buf.put_f64(r.max.x);
+    buf.put_f64(r.max.y);
+}
+
+fn get_rect(buf: &mut Bytes) -> Result<Rect, WireError> {
+    if buf.remaining() < 32 {
+        return Err(WireError::Truncated);
+    }
+    let (ax, ay, bx, by) = (buf.get_f64(), buf.get_f64(), buf.get_f64(), buf.get_f64());
+    Ok(Rect::new(Point::new(ax, ay), Point::new(bx, by)))
+}
+
+fn put_record(buf: &mut BytesMut, tag: u8, id: u64, rect: &Rect) {
+    let start = buf.len();
+    buf.put_u8(tag);
+    buf.put_bytes(0, 7);
+    buf.put_u64(id);
+    put_rect(buf, rect);
+    // Pad the record to exactly RECORD_BYTES.
+    let written = buf.len() - start;
+    buf.put_bytes(0, RECORD_BYTES - written);
+}
+
+fn get_record(buf: &mut Bytes) -> Result<(u8, u64, Rect), WireError> {
+    if buf.remaining() < RECORD_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let tag = buf.get_u8();
+    buf.advance(7);
+    let id = buf.get_u64();
+    let rect = get_rect(buf)?;
+    buf.advance(RECORD_BYTES - 48);
+    Ok((tag, id, rect))
+}
+
+/// Encodes a message. The output length is always a whole number of
+/// 64-byte records (plus a 4-byte count prefix for candidate lists).
+pub fn encode(msg: &Message) -> Bytes {
+    let mut buf = BytesMut::new();
+    match msg {
+        Message::CloakedUpdate { handle, region } => {
+            put_record(&mut buf, TAG_UPDATE, *handle, region);
+        }
+        Message::CloakedQuery { pseudonym, region } => {
+            put_record(&mut buf, TAG_QUERY, *pseudonym, region);
+        }
+        Message::Candidates(entries) => {
+            buf.put_u32(entries.len() as u32);
+            for e in entries {
+                put_record(&mut buf, TAG_CANDIDATE, e.id.0, &e.mbr);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes one message. A leading `u32` is only present for candidate
+/// lists, so the caller indicates the expected shape by what it reads;
+/// this decoder sniffs: buffers whose length is a multiple of 64 decode as
+/// a single record, others as candidate lists.
+pub fn decode(mut bytes: Bytes) -> Result<Message, WireError> {
+    if bytes.len().is_multiple_of(RECORD_BYTES) && bytes.len() == RECORD_BYTES {
+        let (tag, id, rect) = get_record(&mut bytes)?;
+        return match tag {
+            TAG_UPDATE => Ok(Message::CloakedUpdate {
+                handle: id,
+                region: rect,
+            }),
+            TAG_QUERY => Ok(Message::CloakedQuery {
+                pseudonym: id,
+                region: rect,
+            }),
+            t => Err(WireError::BadTag(t)),
+        };
+    }
+    if bytes.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let count = bytes.get_u32() as usize;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let (tag, id, rect) = get_record(&mut bytes)?;
+        if tag != TAG_CANDIDATE {
+            return Err(WireError::BadTag(tag));
+        }
+        entries.push(Entry::new(ObjectId(id), rect));
+    }
+    Ok(Message::Candidates(entries))
+}
+
+/// Number of 64-byte records a message occupies — feed this to
+/// [`crate::TransmissionModel::time_for_records`].
+pub fn record_count(msg: &Message) -> usize {
+    match msg {
+        Message::CloakedUpdate { .. } | Message::CloakedQuery { .. } => 1,
+        Message::Candidates(entries) => entries.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect() -> Rect {
+        Rect::from_coords(0.25, 0.5, 0.375, 0.625)
+    }
+
+    #[test]
+    fn update_round_trips() {
+        let msg = Message::CloakedUpdate {
+            handle: 42,
+            region: rect(),
+        };
+        let bytes = encode(&msg);
+        assert_eq!(bytes.len(), RECORD_BYTES);
+        assert_eq!(decode(bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn query_round_trips() {
+        let msg = Message::CloakedQuery {
+            pseudonym: u64::MAX,
+            region: rect(),
+        };
+        assert_eq!(decode(encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn candidate_list_round_trips() {
+        let entries: Vec<Entry> = (0..7)
+            .map(|i| {
+                Entry::new(
+                    ObjectId(i),
+                    Rect::centered_at(Point::new(0.5, 0.5), 0.01 * i as f64, 0.02),
+                )
+            })
+            .collect();
+        let msg = Message::Candidates(entries.clone());
+        let bytes = encode(&msg);
+        assert_eq!(bytes.len(), 4 + 7 * RECORD_BYTES);
+        match decode(bytes).unwrap() {
+            Message::Candidates(got) => assert_eq!(got, entries),
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_candidate_list() {
+        let msg = Message::Candidates(Vec::new());
+        let bytes = encode(&msg);
+        assert_eq!(bytes.len(), 4);
+        assert_eq!(decode(bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn record_counts_match_cost_model() {
+        assert_eq!(
+            record_count(&Message::CloakedQuery {
+                pseudonym: 1,
+                region: rect()
+            }),
+            1
+        );
+        let entries: Vec<Entry> = (0..5).map(|i| Entry::new(ObjectId(i), rect())).collect();
+        assert_eq!(record_count(&Message::Candidates(entries)), 5);
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let msg = Message::Candidates(vec![Entry::new(ObjectId(1), rect())]);
+        let bytes = encode(&msg);
+        let cut = bytes.slice(0..bytes.len() - 8);
+        assert_eq!(decode(cut), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_tag_errors() {
+        let mut buf = BytesMut::new();
+        put_record(&mut buf, 99, 1, &rect());
+        assert_eq!(decode(buf.freeze()), Err(WireError::BadTag(99)));
+    }
+}

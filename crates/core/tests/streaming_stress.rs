@@ -1,0 +1,79 @@
+//! Stress tests for the streaming anonymizer: bounded-queue
+//! backpressure, mixed readers/writers, and consistency after heavy
+//! concurrent churn.
+
+use std::sync::Arc;
+
+use casper_anonymizer::BasicAnonymizer;
+use casper_core::StreamingAnonymizer;
+use casper_geometry::Point;
+use casper_grid::{Profile, UserId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+#[test]
+fn tiny_queue_applies_everything_via_backpressure() {
+    // Queue of 2: producers block instead of dropping; nothing is lost.
+    let s = StreamingAnonymizer::spawn(BasicAnonymizer::basic(6), 2);
+    for i in 0..500u64 {
+        s.register(UserId(i), Profile::new(1, 0.0), Point::new(0.5, 0.5));
+    }
+    s.flush();
+    assert_eq!(s.read(|a| a.user_count()), 500);
+    assert_eq!(s.shutdown(), 500);
+}
+
+#[test]
+fn concurrent_mixed_workload_stays_consistent() {
+    let s = Arc::new(StreamingAnonymizer::spawn(BasicAnonymizer::basic(7), 256));
+    // Pre-register a base population.
+    for i in 0..1_000u64 {
+        s.register(UserId(i), Profile::new(2, 0.0), Point::new(0.25, 0.25));
+    }
+    s.flush();
+
+    let mut producers = Vec::new();
+    for t in 0..3u64 {
+        let s2 = Arc::clone(&s);
+        producers.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(t);
+            for _ in 0..5_000 {
+                let uid = UserId(rng.gen_range(0..1_000));
+                s2.update_location(uid, Point::new(rng.gen(), rng.gen()));
+            }
+        }));
+    }
+    // A reader thread hammers cloaking concurrently.
+    let s3 = Arc::clone(&s);
+    let reader = std::thread::spawn(move || {
+        let mut cloaks = 0u64;
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..2_000 {
+            let uid = UserId(rng.gen_range(0..1_000));
+            if let Some(region) = s3.write(|a| a.cloak_query(uid)) {
+                assert!(region.region.area() > 0.0);
+                cloaks += 1;
+            }
+        }
+        cloaks
+    });
+    for p in producers {
+        p.join().unwrap();
+    }
+    let cloaks = reader.join().unwrap();
+    assert_eq!(cloaks, 2_000, "every cloak of a registered user succeeds");
+    s.flush();
+    // Structure invariants survived the storm.
+    s.read(|a| a.pyramid().check_invariants().unwrap());
+    assert_eq!(s.read(|a| a.user_count()), 1_000);
+    // 1 000 registrations + 15 000 updates processed.
+    let processed = Arc::try_unwrap(s).map(|s| s.shutdown()).unwrap_or_default();
+    assert_eq!(processed, 16_000);
+}
+
+#[test]
+fn shutdown_is_idempotent_through_drop() {
+    let s = StreamingAnonymizer::spawn(BasicAnonymizer::basic(5), 8);
+    s.register(UserId(1), Profile::RELAXED, Point::new(0.1, 0.1));
+    s.flush();
+    drop(s); // Drop path must join the worker without hanging.
+}

@@ -1,0 +1,86 @@
+//! Property tests for the wire format and snapshots: any encodable value
+//! round-trips bit-exactly, and sizes always match the 64-byte record
+//! cost model.
+
+use casper_core::wire::{decode, encode, record_count, Message, RECORD_BYTES};
+use casper_core::{snapshot, CasperServer, PrivateHandle, TransmissionModel};
+use casper_geometry::{Point, Rect};
+use casper_index::{Entry, ObjectId};
+use proptest::prelude::*;
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (0.0..1.0f64, 0.0..1.0f64, 0.0..1.0f64, 0.0..1.0f64)
+        .prop_map(|(a, b, c, d)| Rect::new(Point::new(a, b), Point::new(c, d)))
+}
+
+fn entry() -> impl Strategy<Value = Entry> {
+    (any::<u64>(), rect()).prop_map(|(id, r)| Entry::new(ObjectId(id), r))
+}
+
+proptest! {
+    #[test]
+    fn updates_round_trip(handle in any::<u64>(), region in rect()) {
+        let msg = Message::CloakedUpdate { handle, region };
+        prop_assert_eq!(decode(encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn queries_round_trip(pseudonym in any::<u64>(), region in rect()) {
+        let msg = Message::CloakedQuery { pseudonym, region };
+        prop_assert_eq!(decode(encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn candidate_lists_round_trip(entries in prop::collection::vec(entry(), 0..50)) {
+        let msg = Message::Candidates(entries);
+        let bytes = encode(&msg);
+        prop_assert_eq!(decode(bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn encoded_size_matches_cost_model(entries in prop::collection::vec(entry(), 0..50)) {
+        let msg = Message::Candidates(entries.clone());
+        let bytes = encode(&msg);
+        prop_assert_eq!(bytes.len(), 4 + entries.len() * RECORD_BYTES);
+        prop_assert_eq!(record_count(&msg), entries.len());
+        // The transmission model prices the payload consistently.
+        let model = TransmissionModel::default();
+        let t_records = model.time_for_records(record_count(&msg));
+        let t_bytes = model.time_for_bytes(entries.len() * RECORD_BYTES);
+        prop_assert_eq!(t_records, t_bytes);
+    }
+
+    #[test]
+    fn snapshots_round_trip(
+        targets in prop::collection::vec((any::<u16>(), 0.0..1.0f64, 0.0..1.0f64), 0..40),
+        regions in prop::collection::vec((any::<u16>(), rect()), 0..40),
+    ) {
+        let mut server = CasperServer::new();
+        // Unique ids via u16 + dedup.
+        let mut seen = std::collections::HashSet::new();
+        let mut public = 0usize;
+        for &(id, x, y) in &targets {
+            if seen.insert(id) {
+                server.upsert_public_target(ObjectId(id as u64), Point::new(x, y));
+                public += 1;
+            }
+        }
+        let mut seen_p = std::collections::HashSet::new();
+        let mut private = 0usize;
+        for &(id, r) in &regions {
+            if seen_p.insert(id) {
+                private += 1;
+            }
+            server.upsert_private_region(PrivateHandle(id as u64), r);
+        }
+        let restored = snapshot::load(snapshot::save(&server)).unwrap();
+        prop_assert_eq!(restored.public_count(), public);
+        prop_assert_eq!(restored.private_count(), private);
+        // Identical range answers on a probe query.
+        let probe = Rect::from_coords(0.25, 0.25, 0.75, 0.75);
+        let a = server.range_private(&probe);
+        let b = restored.range_private(&probe);
+        prop_assert_eq!(a.max_count(), b.max_count());
+        prop_assert!((a.expected_count - b.expected_count).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,78 @@
+//! 2-D geometry primitives for the Casper reproduction.
+//!
+//! Every other crate in the workspace builds on the types defined here:
+//!
+//! * [`Point`] — a location in the plane (user positions, target objects).
+//! * [`Rect`] — an axis-aligned rectangle (cloaked regions, grid cells,
+//!   extended search areas, index bounding boxes).
+//! * [`Segment`] — a directed line segment (cloaked-region edges in
+//!   Algorithm 2 of the paper).
+//! * [`Line`] — an infinite line in implicit form (perpendicular bisectors,
+//!   Step 2 of Algorithm 2).
+//!
+//! The coordinate space used throughout the workspace is the unit square
+//! `[0, 1] x [0, 1]` (the paper normalises its Hennepin County map the same
+//! way — `A_min` is expressed as a percentage of the total space), but
+//! nothing in this crate assumes it.
+//!
+//! All computations use `f64`. Comparisons that must tolerate floating-point
+//! noise go through [`EPSILON`].
+
+#![warn(missing_docs)]
+
+mod line;
+mod point;
+mod rect;
+mod segment;
+
+pub use line::Line;
+pub use point::Point;
+pub use rect::Rect;
+pub use segment::Segment;
+
+/// Tolerance for floating-point comparisons.
+///
+/// The workspace operates on the unit square, so an absolute epsilon is
+/// appropriate: `1e-9` is roughly nine orders of magnitude below the space
+/// extent and three above `f64` noise for the arithmetic we do.
+pub const EPSILON: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` are equal within [`EPSILON`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPSILON
+}
+
+/// Returns `true` when `a >= b` allowing [`EPSILON`] slack.
+#[inline]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    a + EPSILON >= b
+}
+
+/// Returns `true` when `a <= b` allowing [`EPSILON`] slack.
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + EPSILON
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_tolerates_epsilon_noise() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(approx_eq(0.0, -1e-12));
+        assert!(!approx_eq(1.0, 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn approx_ge_and_le_are_inclusive() {
+        assert!(approx_ge(1.0, 1.0));
+        assert!(approx_ge(1.0 - 1e-12, 1.0));
+        assert!(!approx_ge(0.9, 1.0));
+        assert!(approx_le(1.0, 1.0));
+        assert!(approx_le(1.0 + 1e-12, 1.0));
+        assert!(!approx_le(1.1, 1.0));
+    }
+}

@@ -1,0 +1,166 @@
+//! Infinite lines in implicit form.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Point, EPSILON};
+
+/// An infinite line in implicit form `a*x + b*y + c = 0`.
+///
+/// Step 2 of Algorithm 2 constructs the perpendicular bisector `P_ij` of the
+/// segment connecting two filter targets `t_i`, `t_j` and intersects it with
+/// the cloaked-region edge to obtain the middle point `m_ij`; this type is
+/// that bisector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Line {
+    /// `x` coefficient.
+    pub a: f64,
+    /// `y` coefficient.
+    pub b: f64,
+    /// Constant term.
+    pub c: f64,
+}
+
+impl Line {
+    /// Creates the line `a*x + b*y + c = 0`.
+    ///
+    /// At least one of `a`, `b` should be non-zero; a degenerate all-zero
+    /// line evaluates to 0 everywhere and will behave as if every point lay
+    /// on it.
+    #[inline]
+    pub const fn new(a: f64, b: f64, c: f64) -> Self {
+        Self { a, b, c }
+    }
+
+    /// The line through two distinct points.
+    ///
+    /// Returns `None` when the points coincide (within [`EPSILON`]).
+    pub fn through(p: Point, q: Point) -> Option<Self> {
+        if p.dist_sq(q) <= EPSILON * EPSILON {
+            return None;
+        }
+        // Direction (dx, dy); normal (dy, -dx).
+        let a = q.y - p.y;
+        let b = p.x - q.x;
+        let c = -(a * p.x + b * p.y);
+        Some(Self { a, b, c })
+    }
+
+    /// The perpendicular bisector of the segment `pq`: the locus of points
+    /// equidistant from `p` and `q`.
+    ///
+    /// Returns `None` when `p` and `q` coincide (within [`EPSILON`]) — every
+    /// point is then equidistant and no unique bisector exists. This is the
+    /// `L_ij`/`P_ij` construction of Algorithm 2 Step 2.
+    pub fn perpendicular_bisector(p: Point, q: Point) -> Option<Self> {
+        if p.dist_sq(q) <= EPSILON * EPSILON {
+            return None;
+        }
+        let mid = p.midpoint(q);
+        // Normal of the bisector is the direction p -> q.
+        let a = q.x - p.x;
+        let b = q.y - p.y;
+        let c = -(a * mid.x + b * mid.y);
+        Some(Self { a, b, c })
+    }
+
+    /// Evaluates `a*x + b*y + c` at `p`.
+    ///
+    /// The sign tells which half-plane `p` lies in; `0` (within tolerance)
+    /// means `p` is on the line.
+    #[inline]
+    pub fn eval(&self, p: Point) -> f64 {
+        self.a * p.x + self.b * p.y + self.c
+    }
+
+    /// Returns `true` when `p` lies on the line within [`EPSILON`]
+    /// (scaled by the normal's magnitude so the test is distance-based).
+    pub fn contains(&self, p: Point) -> bool {
+        let norm = (self.a * self.a + self.b * self.b).sqrt();
+        if norm <= EPSILON {
+            return true; // degenerate line
+        }
+        self.eval(p).abs() / norm <= EPSILON.sqrt()
+    }
+
+    /// Perpendicular distance from `p` to the line.
+    pub fn dist(&self, p: Point) -> f64 {
+        let norm = (self.a * self.a + self.b * self.b).sqrt();
+        if norm <= EPSILON {
+            return 0.0;
+        }
+        self.eval(p).abs() / norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn through_builds_line_containing_both_points() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(1.0, 2.0);
+        let l = Line::through(p, q).unwrap();
+        assert!(l.contains(p));
+        assert!(l.contains(q));
+        assert!(l.contains(Point::new(0.5, 1.0)));
+        assert!(!l.contains(Point::new(0.5, 0.0)));
+    }
+
+    #[test]
+    fn through_coincident_points_is_none() {
+        let p = Point::new(0.3, 0.3);
+        assert!(Line::through(p, p).is_none());
+    }
+
+    #[test]
+    fn bisector_is_equidistant() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(1.0, 0.0);
+        let l = Line::perpendicular_bisector(p, q).unwrap();
+        // Bisector of a horizontal segment is the vertical x = 0.5.
+        assert!(l.contains(Point::new(0.5, 0.0)));
+        assert!(l.contains(Point::new(0.5, 7.0)));
+        assert!(!l.contains(Point::new(0.6, 0.0)));
+    }
+
+    #[test]
+    fn bisector_of_diagonal_segment() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(1.0, 1.0);
+        let l = Line::perpendicular_bisector(p, q).unwrap();
+        // Any point on the bisector is equidistant from p and q.
+        for t in [-1.0, 0.0, 0.5, 2.0] {
+            // Parametrise the bisector: passes through (0.5, 0.5) with
+            // direction (1, -1).
+            let pt = Point::new(0.5 + t, 0.5 - t);
+            assert!(l.contains(pt));
+            assert!(approx_eq(pt.dist(p), pt.dist(q)));
+        }
+    }
+
+    #[test]
+    fn bisector_of_coincident_points_is_none() {
+        let p = Point::new(0.2, 0.9);
+        assert!(Line::perpendicular_bisector(p, p).is_none());
+    }
+
+    #[test]
+    fn eval_sign_separates_half_planes() {
+        let l = Line::new(1.0, 0.0, -0.5); // x = 0.5
+        assert!(l.eval(Point::new(0.0, 0.0)) < 0.0);
+        assert!(l.eval(Point::new(1.0, 0.0)) > 0.0);
+        assert!(approx_eq(l.eval(Point::new(0.5, 3.0)), 0.0));
+    }
+
+    #[test]
+    fn dist_is_perpendicular_distance() {
+        let l = Line::new(0.0, 1.0, -1.0); // y = 1
+        assert!(approx_eq(l.dist(Point::new(5.0, 3.0)), 2.0));
+        assert!(approx_eq(l.dist(Point::new(-2.0, 1.0)), 0.0));
+        // Non-normalised coefficients give the same distance.
+        let l2 = Line::new(0.0, 10.0, -10.0);
+        assert!(approx_eq(l2.dist(Point::new(5.0, 3.0)), 2.0));
+    }
+}

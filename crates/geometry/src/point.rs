@@ -1,0 +1,148 @@
+//! Points in the plane.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the 2-D plane.
+///
+/// Used for exact user positions (inside the trusted anonymizer only),
+/// public target objects (gas stations, restaurants, ...), and geometric
+/// construction points such as the `m_ij` middle points of Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Cheaper than [`Point::dist`]; use it for comparisons — the squared
+    /// distance preserves ordering.
+    #[inline]
+    pub fn dist_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint of the segment between `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Linear interpolation: returns `self + t * (other - self)`.
+    ///
+    /// `t = 0` yields `self`, `t = 1` yields `other`; values outside `[0, 1]`
+    /// extrapolate.
+    #[inline]
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + t * (other.x - self.x),
+            self.y + t * (other.y - self.y),
+        )
+    }
+
+    /// Component-wise translation.
+    #[inline]
+    pub fn translate(&self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!(approx_eq(a.dist(b), 5.0));
+        assert!(approx_eq(a.dist_sq(b), 25.0));
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(0.25, 0.75);
+        let b = Point::new(0.5, 0.125);
+        assert!(approx_eq(a.dist(b), b.dist(a)));
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = Point::new(0.3, 0.7);
+        assert_eq!(p.dist(p), 0.0);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.5);
+        let m = a.midpoint(b);
+        assert!(approx_eq(m.x, 0.5));
+        assert!(approx_eq(m.y, 0.25));
+        assert!(approx_eq(a.dist(m), b.dist(m)));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_interior() {
+        let a = Point::new(0.0, 1.0);
+        let b = Point::new(1.0, 3.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let q = a.lerp(b, 0.25);
+        assert!(approx_eq(q.x, 0.25));
+        assert!(approx_eq(q.y, 1.5));
+    }
+
+    #[test]
+    fn translate_moves_both_axes() {
+        let p = Point::new(1.0, 2.0).translate(-0.5, 0.25);
+        assert!(approx_eq(p.x, 0.5));
+        assert!(approx_eq(p.y, 2.25));
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (0.1, 0.2).into();
+        assert_eq!(p, Point::new(0.1, 0.2));
+    }
+
+    #[test]
+    fn is_finite_rejects_nan_and_inf() {
+        assert!(Point::new(0.0, 0.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+}

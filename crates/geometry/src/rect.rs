@@ -1,0 +1,527 @@
+//! Axis-aligned rectangles and their sides.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{approx_ge, approx_le, Point, Segment};
+
+/// One of the four sides of an axis-aligned rectangle.
+///
+/// Step 3 of Algorithm 2 expands the extended area "by distance `max_d` in
+/// the `v_i v_j` direction", i.e. pushes the side holding edge `e_ij`
+/// outward; this enum names those sides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// The side `y = min.y`.
+    Bottom,
+    /// The side `x = max.x`.
+    Right,
+    /// The side `y = max.y`.
+    Top,
+    /// The side `x = min.x`.
+    Left,
+}
+
+impl Side {
+    /// All four sides in counter-clockwise order starting at the bottom.
+    pub const ALL: [Side; 4] = [Side::Bottom, Side::Right, Side::Top, Side::Left];
+
+    /// Outward unit normal of the side.
+    #[inline]
+    pub fn outward_normal(self) -> (f64, f64) {
+        match self {
+            Side::Bottom => (0.0, -1.0),
+            Side::Right => (1.0, 0.0),
+            Side::Top => (0.0, 1.0),
+            Side::Left => (-1.0, 0.0),
+        }
+    }
+}
+
+/// An axis-aligned rectangle, stored as its minimum and maximum corners.
+///
+/// Rectangles represent cloaked spatial regions, pyramid grid cells, the
+/// extended search area `A_EXT` of Algorithm 2, and index bounding boxes.
+/// The constructor normalises the corners so `min.x <= max.x` and
+/// `min.y <= max.y` always hold. Degenerate (zero width or height)
+/// rectangles are allowed; they behave as segments or points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Corner with the smallest coordinates.
+    pub min: Point,
+    /// Corner with the largest coordinates.
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners, in any order.
+    #[inline]
+    pub fn new(a: Point, b: Point) -> Self {
+        Self {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates a rectangle from `(min_x, min_y, max_x, max_y)`.
+    #[inline]
+    pub fn from_coords(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Self::new(Point::new(min_x, min_y), Point::new(max_x, max_y))
+    }
+
+    /// Creates the rectangle centred at `c` with the given full width and
+    /// height.
+    #[inline]
+    pub fn centered_at(c: Point, width: f64, height: f64) -> Self {
+        Self::from_coords(
+            c.x - width / 2.0,
+            c.y - height / 2.0,
+            c.x + width / 2.0,
+            c.y + height / 2.0,
+        )
+    }
+
+    /// The degenerate rectangle covering exactly one point.
+    #[inline]
+    pub fn point(p: Point) -> Self {
+        Self { min: p, max: p }
+    }
+
+    /// The unit square `[0, 1] x [0, 1]` — the workspace's whole space.
+    #[inline]
+    pub fn unit() -> Self {
+        Self::from_coords(0.0, 0.0, 1.0, 1.0)
+    }
+
+    /// Width (`max.x - min.x`).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (`max.y - min.y`).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area of the rectangle.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Centre point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Returns `true` when `p` lies inside or on the boundary
+    /// (within [`crate::EPSILON`]).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        approx_ge(p.x, self.min.x)
+            && approx_le(p.x, self.max.x)
+            && approx_ge(p.y, self.min.y)
+            && approx_le(p.y, self.max.y)
+    }
+
+    /// Returns `true` when `other` lies entirely inside `self`
+    /// (boundary contact allowed).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.contains(other.min) && self.contains(other.max)
+    }
+
+    /// Returns `true` when the two rectangles share at least one point
+    /// (boundary contact counts as intersection).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        approx_le(self.min.x, other.max.x)
+            && approx_ge(self.max.x, other.min.x)
+            && approx_le(self.min.y, other.max.y)
+            && approx_ge(self.max.y, other.min.y)
+    }
+
+    /// Intersection rectangle, or `None` when the rectangles are disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            min: Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            max: Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        })
+    }
+
+    /// Area of the intersection with `other` (0 when disjoint).
+    #[inline]
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        let w = (self.max.x.min(other.max.x) - self.min.x.max(other.min.x)).max(0.0);
+        let h = (self.max.y.min(other.max.y) - self.min.y.max(other.min.y)).max(0.0);
+        w * h
+    }
+
+    /// Fraction of `self`'s area that overlaps `other`, in `[0, 1]`.
+    ///
+    /// Used by the probabilistic candidate-list variant of Section 5.2
+    /// ("return only targets with more than x% of their cloaked area
+    /// overlapping `A_EXT`"). A degenerate `self` counts as fully
+    /// overlapping when it intersects `other`.
+    pub fn overlap_fraction(&self, other: &Rect) -> f64 {
+        let a = self.area();
+        if a <= 0.0 {
+            return if self.intersects(other) { 1.0 } else { 0.0 };
+        }
+        self.overlap_area(other) / a
+    }
+
+    /// Smallest rectangle containing both `self` and `other`
+    /// (minimum bounding rectangle).
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// The four corners in counter-clockwise order:
+    /// bottom-left, bottom-right, top-right, top-left.
+    ///
+    /// Algorithm 2 calls these `v_1..v_4`; the exact order is irrelevant to
+    /// the algorithm as long as consecutive corners share an edge, which
+    /// this order guarantees.
+    #[inline]
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ]
+    }
+
+    /// The four edges paired with the side of the rectangle they lie on,
+    /// counter-clockwise starting from the bottom edge.
+    pub fn edges(&self) -> [(Side, Segment); 4] {
+        let [bl, br, tr, tl] = self.corners();
+        [
+            (Side::Bottom, Segment::new(bl, br)),
+            (Side::Right, Segment::new(br, tr)),
+            (Side::Top, Segment::new(tr, tl)),
+            (Side::Left, Segment::new(tl, bl)),
+        ]
+    }
+
+    /// Euclidean distance from `p` to the closest point of the rectangle
+    /// (0 when `p` is inside).
+    pub fn min_dist(&self, p: Point) -> f64 {
+        self.min_dist_sq(p).sqrt()
+    }
+
+    /// Squared version of [`Rect::min_dist`].
+    pub fn min_dist_sq(&self, p: Point) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance from `p` to the farthest point of the rectangle,
+    /// which is always one of the corners.
+    ///
+    /// Section 5.2 measures nearest-neighbour distances to *private* targets
+    /// pessimistically: "the exact location of a target object within its
+    /// cloaked area is the furthest corner" — this is that distance.
+    pub fn max_dist(&self, p: Point) -> f64 {
+        p.dist(self.farthest_corner(p))
+    }
+
+    /// The corner of the rectangle farthest from `p`.
+    pub fn farthest_corner(&self, p: Point) -> Point {
+        let x = if (p.x - self.min.x).abs() >= (p.x - self.max.x).abs() {
+            self.min.x
+        } else {
+            self.max.x
+        };
+        let y = if (p.y - self.min.y).abs() >= (p.y - self.max.y).abs() {
+            self.min.y
+        } else {
+            self.max.y
+        };
+        Point::new(x, y)
+    }
+
+    /// Minimum distance between two rectangles (0 when they intersect).
+    pub fn min_dist_rect(&self, other: &Rect) -> f64 {
+        let dx = (self.min.x - other.max.x)
+            .max(0.0)
+            .max(other.min.x - self.max.x);
+        let dy = (self.min.y - other.max.y)
+            .max(0.0)
+            .max(other.min.y - self.max.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Returns the rectangle grown outward by `d` on the given side.
+    ///
+    /// `d` must be non-negative; Step 3 of Algorithm 2 only ever expands.
+    pub fn expand_side(&self, side: Side, d: f64) -> Rect {
+        debug_assert!(d >= 0.0, "A_EXT only grows");
+        let mut r = *self;
+        match side {
+            Side::Bottom => r.min.y -= d,
+            Side::Right => r.max.x += d,
+            Side::Top => r.max.y += d,
+            Side::Left => r.min.x -= d,
+        }
+        r
+    }
+
+    /// Returns the rectangle grown outward by the four per-side amounts.
+    pub fn expand_sides(&self, left: f64, right: f64, bottom: f64, top: f64) -> Rect {
+        debug_assert!(
+            left >= 0.0 && right >= 0.0 && bottom >= 0.0 && top >= 0.0,
+            "A_EXT only grows"
+        );
+        Rect {
+            min: Point::new(self.min.x - left, self.min.y - bottom),
+            max: Point::new(self.max.x + right, self.max.y + top),
+        }
+    }
+
+    /// Returns the rectangle grown outward by `d` on every side.
+    #[inline]
+    pub fn expand_uniform(&self, d: f64) -> Rect {
+        self.expand_sides(d, d, d, d)
+    }
+
+    /// Clamps the rectangle to lie within `bounds`.
+    pub fn clamp_to(&self, bounds: &Rect) -> Rect {
+        Rect {
+            min: Point::new(
+                self.min.x.max(bounds.min.x).min(bounds.max.x),
+                self.min.y.max(bounds.min.y).min(bounds.max.y),
+            ),
+            max: Point::new(
+                self.max.x.min(bounds.max.x).max(bounds.min.x),
+                self.max.y.min(bounds.max.y).max(bounds.min.y),
+            ),
+        }
+    }
+
+    /// Returns `true` when both corners are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.min.is_finite() && self.max.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn r(a: f64, b: f64, c: f64, d: f64) -> Rect {
+        Rect::from_coords(a, b, c, d)
+    }
+
+    #[test]
+    fn constructor_normalises_corners() {
+        let rect = Rect::new(Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+        assert_eq!(rect.min, Point::new(0.0, 0.0));
+        assert_eq!(rect.max, Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn area_width_height() {
+        let rect = r(0.0, 0.0, 2.0, 0.5);
+        assert!(approx_eq(rect.width(), 2.0));
+        assert!(approx_eq(rect.height(), 0.5));
+        assert!(approx_eq(rect.area(), 1.0));
+    }
+
+    #[test]
+    fn centered_at_round_trips() {
+        let rect = Rect::centered_at(Point::new(0.5, 0.5), 0.2, 0.4);
+        assert_eq!(rect.center(), Point::new(0.5, 0.5));
+        assert!(approx_eq(rect.width(), 0.2));
+        assert!(approx_eq(rect.height(), 0.4));
+    }
+
+    #[test]
+    fn contains_is_boundary_inclusive() {
+        let rect = r(0.0, 0.0, 1.0, 1.0);
+        assert!(rect.contains(Point::new(0.5, 0.5)));
+        assert!(rect.contains(Point::new(0.0, 0.0)));
+        assert!(rect.contains(Point::new(1.0, 1.0)));
+        assert!(rect.contains(Point::new(1.0, 0.5)));
+        assert!(!rect.contains(Point::new(1.1, 0.5)));
+        assert!(!rect.contains(Point::new(0.5, -0.1)));
+    }
+
+    #[test]
+    fn contains_rect_requires_full_containment() {
+        let outer = r(0.0, 0.0, 1.0, 1.0);
+        assert!(outer.contains_rect(&r(0.25, 0.25, 0.75, 0.75)));
+        assert!(outer.contains_rect(&outer));
+        assert!(!outer.contains_rect(&r(0.5, 0.5, 1.5, 0.75)));
+    }
+
+    #[test]
+    fn intersection_of_overlapping_rects() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(0.5, 0.5, 2.0, 2.0);
+        assert!(a.intersects(&b));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, r(0.5, 0.5, 1.0, 1.0));
+        assert!(approx_eq(a.overlap_area(&b), 0.25));
+    }
+
+    #[test]
+    fn disjoint_rects_do_not_intersect() {
+        let a = r(0.0, 0.0, 0.4, 0.4);
+        let b = r(0.5, 0.5, 1.0, 1.0);
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_none());
+        assert_eq!(a.overlap_area(&b), 0.0);
+    }
+
+    #[test]
+    fn touching_rects_intersect_with_zero_area() {
+        let a = r(0.0, 0.0, 0.5, 1.0);
+        let b = r(0.5, 0.0, 1.0, 1.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.overlap_area(&b), 0.0);
+    }
+
+    #[test]
+    fn overlap_fraction_basics() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(0.5, 0.0, 1.5, 1.0);
+        assert!(approx_eq(a.overlap_fraction(&b), 0.5));
+        assert!(approx_eq(a.overlap_fraction(&a), 1.0));
+        let degenerate = Rect::point(Point::new(0.5, 0.5));
+        assert_eq!(degenerate.overlap_fraction(&a), 1.0);
+        assert_eq!(degenerate.overlap_fraction(&r(2.0, 2.0, 3.0, 3.0)), 0.0);
+    }
+
+    #[test]
+    fn union_is_mbr() {
+        let a = r(0.0, 0.0, 0.25, 0.25);
+        let b = r(0.75, 0.5, 1.0, 1.0);
+        assert_eq!(a.union(&b), r(0.0, 0.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn corners_are_ccw_and_on_boundary() {
+        let rect = r(0.0, 0.0, 2.0, 1.0);
+        let [bl, br, tr, tl] = rect.corners();
+        assert_eq!(bl, Point::new(0.0, 0.0));
+        assert_eq!(br, Point::new(2.0, 0.0));
+        assert_eq!(tr, Point::new(2.0, 1.0));
+        assert_eq!(tl, Point::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn edges_connect_consecutive_corners() {
+        let rect = r(0.0, 0.0, 1.0, 1.0);
+        let edges = rect.edges();
+        assert_eq!(edges[0].0, Side::Bottom);
+        assert_eq!(edges[0].1.a, Point::new(0.0, 0.0));
+        assert_eq!(edges[0].1.b, Point::new(1.0, 0.0));
+        // each edge ends where the next begins
+        for i in 0..4 {
+            assert_eq!(edges[i].1.b, edges[(i + 1) % 4].1.a);
+        }
+    }
+
+    #[test]
+    fn min_dist_zero_inside_positive_outside() {
+        let rect = r(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(rect.min_dist(Point::new(0.5, 0.5)), 0.0);
+        assert_eq!(rect.min_dist(Point::new(1.0, 1.0)), 0.0);
+        assert!(approx_eq(rect.min_dist(Point::new(2.0, 0.5)), 1.0));
+        assert!(approx_eq(rect.min_dist(Point::new(2.0, 2.0)), 2f64.sqrt()));
+    }
+
+    #[test]
+    fn max_dist_is_to_farthest_corner() {
+        let rect = r(0.0, 0.0, 1.0, 1.0);
+        // from the origin corner, the farthest corner is (1, 1)
+        assert!(approx_eq(rect.max_dist(Point::new(0.0, 0.0)), 2f64.sqrt()));
+        assert_eq!(
+            rect.farthest_corner(Point::new(0.0, 0.0)),
+            Point::new(1.0, 1.0)
+        );
+        // from far outside on the right, the farthest corner is on the left
+        let fc = rect.farthest_corner(Point::new(5.0, 0.5));
+        assert_eq!(fc.x, 0.0);
+    }
+
+    #[test]
+    fn max_dist_dominates_every_interior_point() {
+        let rect = r(0.2, 0.3, 0.7, 0.9);
+        let p = Point::new(0.05, 0.95);
+        let md = rect.max_dist(p);
+        for corner in rect.corners() {
+            assert!(p.dist(corner) <= md + crate::EPSILON);
+        }
+        assert!(p.dist(rect.center()) <= md);
+    }
+
+    #[test]
+    fn min_dist_rect_zero_when_overlapping() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(0.5, 0.5, 2.0, 2.0);
+        assert_eq!(a.min_dist_rect(&b), 0.0);
+        let c = r(2.0, 0.0, 3.0, 1.0);
+        assert!(approx_eq(a.min_dist_rect(&c), 1.0));
+        let d = r(2.0, 2.0, 3.0, 3.0);
+        assert!(approx_eq(a.min_dist_rect(&d), 2f64.sqrt()));
+    }
+
+    fn assert_rect_eq(a: Rect, b: Rect) {
+        assert!(
+            approx_eq(a.min.x, b.min.x)
+                && approx_eq(a.min.y, b.min.y)
+                && approx_eq(a.max.x, b.max.x)
+                && approx_eq(a.max.y, b.max.y),
+            "{a:?} != {b:?}"
+        );
+    }
+
+    #[test]
+    fn expand_side_only_moves_that_side() {
+        let rect = r(0.2, 0.2, 0.8, 0.8);
+        let e = rect.expand_side(Side::Left, 0.1);
+        assert_rect_eq(e, r(0.1, 0.2, 0.8, 0.8));
+        let e = rect.expand_side(Side::Top, 0.05);
+        assert_rect_eq(e, r(0.2, 0.2, 0.8, 0.85));
+    }
+
+    #[test]
+    fn expand_sides_and_uniform() {
+        let rect = r(0.4, 0.4, 0.6, 0.6);
+        let e = rect.expand_sides(0.1, 0.2, 0.3, 0.4);
+        assert_rect_eq(e, r(0.3, 0.1, 0.8, 1.0));
+        let u = rect.expand_uniform(0.1);
+        assert_rect_eq(u, r(0.3, 0.3, 0.7, 0.7));
+        assert!(u.contains_rect(&rect));
+    }
+
+    #[test]
+    fn clamp_to_bounds() {
+        let rect = r(-0.5, 0.2, 1.5, 0.8);
+        let clamped = rect.clamp_to(&Rect::unit());
+        assert_eq!(clamped, r(0.0, 0.2, 1.0, 0.8));
+    }
+
+    #[test]
+    fn side_normals_point_outward() {
+        assert_eq!(Side::Bottom.outward_normal(), (0.0, -1.0));
+        assert_eq!(Side::Right.outward_normal(), (1.0, 0.0));
+        assert_eq!(Side::Top.outward_normal(), (0.0, 1.0));
+        assert_eq!(Side::Left.outward_normal(), (-1.0, 0.0));
+    }
+}

@@ -1,0 +1,192 @@
+//! Directed line segments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Line, Point, EPSILON};
+
+/// A directed line segment from `a` to `b`.
+///
+/// In Algorithm 2 each edge `e_ij = v_i v_j` of the cloaked region is a
+/// segment; Step 2 intersects it with the perpendicular bisector of the two
+/// filter objects to find the middle point `m_ij`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start point (`v_i`).
+    pub a: Point,
+    /// End point (`v_j`).
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates the segment from `a` to `b`.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Self { a, b }
+    }
+
+    /// Segment length.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    /// Midpoint of the segment.
+    #[inline]
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// Point at parameter `t` along the segment (`t = 0` is `a`,
+    /// `t = 1` is `b`).
+    #[inline]
+    pub fn point_at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// The point on the segment closest to `p`.
+    pub fn closest_point(&self, p: Point) -> Point {
+        let dx = self.b.x - self.a.x;
+        let dy = self.b.y - self.a.y;
+        let len_sq = dx * dx + dy * dy;
+        if len_sq <= EPSILON * EPSILON {
+            return self.a;
+        }
+        let t = ((p.x - self.a.x) * dx + (p.y - self.a.y) * dy) / len_sq;
+        self.point_at(t.clamp(0.0, 1.0))
+    }
+
+    /// Distance from `p` to the segment.
+    #[inline]
+    pub fn dist(&self, p: Point) -> f64 {
+        p.dist(self.closest_point(p))
+    }
+
+    /// Intersection of the segment with an infinite line, if any.
+    ///
+    /// Returns the intersection point when the line crosses the closed
+    /// segment (endpoints included, with [`EPSILON`] slack). When the
+    /// segment lies *on* the line (collinear), returns the segment midpoint
+    /// — any point is a valid answer and the midpoint is the symmetric
+    /// choice. Returns `None` when the segment is parallel to and off the
+    /// line or the crossing lies outside the segment.
+    pub fn intersect_line(&self, line: &Line) -> Option<Point> {
+        let fa = line.eval(self.a);
+        let fb = line.eval(self.b);
+        if fa.abs() <= EPSILON && fb.abs() <= EPSILON {
+            // Collinear: the whole segment lies on the line.
+            return Some(self.midpoint());
+        }
+        if fa.abs() <= EPSILON {
+            return Some(self.a);
+        }
+        if fb.abs() <= EPSILON {
+            return Some(self.b);
+        }
+        if fa.signum() == fb.signum() {
+            return None;
+        }
+        let t = fa / (fa - fb);
+        Some(self.point_at(t))
+    }
+
+    /// Returns `true` when `p` lies on the segment (within [`EPSILON`]).
+    pub fn contains(&self, p: Point) -> bool {
+        self.dist(p) <= EPSILON.sqrt() * 1e-3 + EPSILON
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn length_and_midpoint() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(3.0, 4.0));
+        assert!(approx_eq(s.length(), 5.0));
+        assert_eq!(s.midpoint(), Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn point_at_endpoints() {
+        let s = Segment::new(Point::new(0.0, 1.0), Point::new(2.0, 1.0));
+        assert_eq!(s.point_at(0.0), s.a);
+        assert_eq!(s.point_at(1.0), s.b);
+        assert_eq!(s.point_at(0.5), Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn closest_point_projects_onto_interior() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        assert_eq!(s.closest_point(Point::new(1.0, 5.0)), Point::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn closest_point_clamps_to_endpoints() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        assert_eq!(s.closest_point(Point::new(-1.0, 1.0)), s.a);
+        assert_eq!(s.closest_point(Point::new(9.0, -3.0)), s.b);
+    }
+
+    #[test]
+    fn closest_point_of_degenerate_segment() {
+        let p = Point::new(0.3, 0.3);
+        let s = Segment::new(p, p);
+        assert_eq!(s.closest_point(Point::new(1.0, 1.0)), p);
+    }
+
+    #[test]
+    fn dist_from_point() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        assert!(approx_eq(s.dist(Point::new(1.0, 3.0)), 3.0));
+        assert!(approx_eq(s.dist(Point::new(3.0, 0.0)), 1.0));
+        assert_eq!(s.dist(Point::new(0.5, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn intersect_line_crossing() {
+        // Vertical segment crossed by the horizontal line y = 0.5.
+        let s = Segment::new(Point::new(1.0, 0.0), Point::new(1.0, 1.0));
+        let line = Line::new(0.0, 1.0, -0.5); // y - 0.5 = 0
+        let p = s.intersect_line(&line).unwrap();
+        assert!(approx_eq(p.x, 1.0));
+        assert!(approx_eq(p.y, 0.5));
+    }
+
+    #[test]
+    fn intersect_line_miss() {
+        let s = Segment::new(Point::new(1.0, 0.0), Point::new(1.0, 0.4));
+        let line = Line::new(0.0, 1.0, -0.5); // y = 0.5 is above the segment
+        assert!(s.intersect_line(&line).is_none());
+    }
+
+    #[test]
+    fn intersect_line_at_endpoint() {
+        let s = Segment::new(Point::new(0.0, 0.5), Point::new(1.0, 0.5));
+        let line = Line::new(1.0, 0.0, 0.0); // x = 0
+        let p = s.intersect_line(&line).unwrap();
+        assert_eq!(p, s.a);
+    }
+
+    #[test]
+    fn intersect_line_collinear_returns_midpoint() {
+        let s = Segment::new(Point::new(0.0, 0.5), Point::new(1.0, 0.5));
+        let line = Line::new(0.0, 1.0, -0.5); // y = 0.5: contains the segment
+        assert_eq!(s.intersect_line(&line).unwrap(), s.midpoint());
+    }
+
+    #[test]
+    fn intersect_parallel_off_line_is_none() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+        let line = Line::new(0.0, 1.0, -0.5);
+        assert!(s.intersect_line(&line).is_none());
+    }
+
+    #[test]
+    fn contains_on_and_off_segment() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        assert!(s.contains(Point::new(0.5, 0.5)));
+        assert!(s.contains(s.a));
+        assert!(!s.contains(Point::new(0.5, 0.6)));
+    }
+}

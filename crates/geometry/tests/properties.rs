@@ -1,0 +1,154 @@
+//! Property-based tests for the geometry primitives.
+
+use casper_geometry::{approx_eq, approx_ge, approx_le, Line, Point, Rect, Segment, EPSILON};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    -10.0f64..10.0
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (coord(), coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (point(), point()).prop_map(|(a, b)| Rect::new(a, b))
+}
+
+proptest! {
+    #[test]
+    fn dist_is_symmetric_and_nonnegative(a in point(), b in point()) {
+        prop_assert!(a.dist(b) >= 0.0);
+        prop_assert!(approx_eq(a.dist(b), b.dist(a)));
+    }
+
+    #[test]
+    fn triangle_inequality(a in point(), b in point(), c in point()) {
+        prop_assert!(a.dist(c) <= a.dist(b) + b.dist(c) + EPSILON);
+    }
+
+    #[test]
+    fn midpoint_is_equidistant(a in point(), b in point()) {
+        let m = a.midpoint(b);
+        prop_assert!(approx_eq(m.dist(a), m.dist(b)));
+        prop_assert!(approx_eq(m.dist(a) + m.dist(b), a.dist(b)));
+    }
+
+    #[test]
+    fn rect_normalisation_holds(r in rect()) {
+        prop_assert!(r.min.x <= r.max.x);
+        prop_assert!(r.min.y <= r.max.y);
+        prop_assert!(r.area() >= 0.0);
+    }
+
+    #[test]
+    fn rect_contains_center_and_corners(r in rect()) {
+        prop_assert!(r.contains(r.center()));
+        for c in r.corners() {
+            prop_assert!(r.contains(c));
+        }
+    }
+
+    #[test]
+    fn union_contains_both(a in rect(), b in rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn intersection_contained_in_both(a in rect(), b in rect()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(approx_ge(i.min.x, a.min.x) && approx_le(i.max.x, a.max.x));
+            prop_assert!(approx_ge(i.min.y, b.min.y.min(a.min.y)));
+            prop_assert!(a.overlap_area(&b) <= a.area() + EPSILON);
+            prop_assert!(a.overlap_area(&b) <= b.area() + EPSILON);
+        } else {
+            prop_assert_eq!(a.overlap_area(&b), 0.0);
+        }
+    }
+
+    #[test]
+    fn overlap_area_is_symmetric(a in rect(), b in rect()) {
+        prop_assert!(approx_eq(a.overlap_area(&b), b.overlap_area(&a)));
+    }
+
+    #[test]
+    fn min_dist_le_center_dist_le_max_dist(r in rect(), p in point()) {
+        let min_d = r.min_dist(p);
+        let max_d = r.max_dist(p);
+        prop_assert!(min_d <= max_d + EPSILON);
+        prop_assert!(min_d <= p.dist(r.center()) + EPSILON);
+        prop_assert!(p.dist(r.center()) <= max_d + EPSILON);
+    }
+
+    #[test]
+    fn max_dist_dominates_sampled_interior(r in rect(), p in point(), t in 0.0f64..1.0, u in 0.0f64..1.0) {
+        let q = Point::new(
+            r.min.x + t * r.width(),
+            r.min.y + u * r.height(),
+        );
+        prop_assert!(p.dist(q) <= r.max_dist(p) + EPSILON);
+        prop_assert!(p.dist(q) + EPSILON >= r.min_dist(p));
+    }
+
+    #[test]
+    fn farthest_corner_is_a_corner(r in rect(), p in point()) {
+        let fc = r.farthest_corner(p);
+        prop_assert!(r.corners().iter().any(|c| approx_eq(c.x, fc.x) && approx_eq(c.y, fc.y)));
+    }
+
+    #[test]
+    fn expand_uniform_contains_original(r in rect(), d in 0.0f64..5.0) {
+        let e = r.expand_uniform(d);
+        prop_assert!(e.contains_rect(&r));
+        // Width and height grow by exactly 2d.
+        prop_assert!(approx_eq(e.width(), r.width() + 2.0 * d));
+        prop_assert!(approx_eq(e.height(), r.height() + 2.0 * d));
+    }
+
+    #[test]
+    fn bisector_splits_equidistantly(p in point(), q in point(), probe in point()) {
+        prop_assume!(p.dist(q) > 1e-6);
+        let l = Line::perpendicular_bisector(p, q).unwrap();
+        // The sign of eval determines which of p/q is closer.
+        let e = l.eval(probe);
+        if e.abs() > 1e-6 {
+            let closer_to_q = e > 0.0;
+            if closer_to_q {
+                prop_assert!(probe.dist(q) <= probe.dist(p) + 1e-6);
+            } else {
+                prop_assert!(probe.dist(p) <= probe.dist(q) + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn segment_closest_point_is_on_segment(a in point(), b in point(), p in point()) {
+        let s = Segment::new(a, b);
+        let c = s.closest_point(p);
+        // c must be between a and b (parameter within [0,1]):
+        prop_assert!(c.dist(a) + c.dist(b) <= s.length() + 1e-6);
+        // and no sampled point on the segment may be closer.
+        for t in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            prop_assert!(p.dist(c) <= p.dist(s.point_at(t)) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn segment_line_intersection_lies_on_both(a in point(), b in point(), p in point(), q in point()) {
+        prop_assume!(p.dist(q) > 1e-3);
+        prop_assume!(a.dist(b) > 1e-3);
+        let s = Segment::new(a, b);
+        let l = Line::perpendicular_bisector(p, q).unwrap();
+        if let Some(x) = s.intersect_line(&l) {
+            // On the segment (distance to the segment is ~0):
+            prop_assert!(s.dist(x) <= 1e-6);
+        } else {
+            // No crossing: both endpoints strictly on one side.
+            let fa = l.eval(s.a);
+            let fb = l.eval(s.b);
+            prop_assert!(fa.signum() == fb.signum());
+        }
+    }
+}

@@ -1,0 +1,847 @@
+//! The incomplete pyramid of the *adaptive* location anonymizer
+//! (Section 4.2).
+//!
+//! Only cells that can potentially serve as cloaking regions for the
+//! current user population are maintained. The structure is kept in shape
+//! by two operations:
+//!
+//! * **Cell splitting** — a leaf cell at level `i` is split into its four
+//!   children when a user arrives whose privacy profile would be satisfied
+//!   by the child cell containing her (the paper tracks the "most relaxed
+//!   user" `u_r` per cell for this; we keep the equivalent per-quadrant
+//!   minimum-`k` summaries plus shadow quadrant occupancy counters so the
+//!   check stays O(1) per arrival).
+//! * **Cell merging** — four sibling leaves at level `i` are merged into
+//!   their parent when *no* user inside any of them can be satisfied at
+//!   level `i` (each leaf keeps the minimum `k` among its area-eligible
+//!   users, so the check is O(1); the summary is recomputed by a scan only
+//!   when the minimum holder departs, exactly like the paper's
+//!   "update `u_r` if necessary").
+//!
+//! The hash table points at the lowest *maintained* cell, so Algorithm 1
+//! starts higher up and usually needs no recursive calls at all.
+
+use casper_geometry::Point;
+
+use crate::hash::FastMap;
+use crate::{
+    bottom_up_cloak, CellId, CellStore, CloakedRegion, MaintenanceStats, Profile, PyramidStructure,
+    UserId,
+};
+
+#[derive(Debug, Clone, Copy)]
+struct UserEntry {
+    profile: Profile,
+    pos: Point,
+    /// The *leaf* (lowest maintained) cell containing `pos`.
+    cid: CellId,
+}
+
+/// Summaries kept for leaf cells only.
+#[derive(Debug, Clone)]
+struct LeafData {
+    users: Vec<UserId>,
+    /// Occupancy of the four would-be children (quadrants). Unused at the
+    /// lowest pyramid level.
+    child_counts: [u32; 4],
+    /// Per quadrant: minimum `k` among users in the quadrant whose `a_min`
+    /// fits the child area; `u32::MAX` when no such user. The split test is
+    /// `child_counts[q] >= min_k[q]`.
+    min_k: [u32; 4],
+    /// Minimum `k` among users in the leaf whose `a_min` fits the leaf
+    /// area; drives the merge test (`count < min_k_leaf` for all four
+    /// siblings means nobody needs this level).
+    min_k_leaf: u32,
+}
+
+impl LeafData {
+    fn empty() -> Self {
+        Self {
+            users: Vec::new(),
+            child_counts: [0; 4],
+            min_k: [u32::MAX; 4],
+            min_k_leaf: u32::MAX,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CellData {
+    count: u32,
+    /// `Some` for leaves, `None` for internal cells.
+    leaf: Option<LeafData>,
+}
+
+/// The incomplete grid pyramid backing the adaptive location anonymizer.
+#[derive(Debug, Clone)]
+pub struct AdaptivePyramid {
+    height: u8,
+    cells: FastMap<CellId, CellData>,
+    users: FastMap<UserId, UserEntry>,
+}
+
+/// Quadrant index of `pos` within leaf `cell`: 0 = bottom-left,
+/// 1 = bottom-right, 2 = top-left, 3 = top-right. Matches the order of
+/// [`CellId::children`].
+fn quadrant(cell: CellId, pos: Point) -> usize {
+    let child = CellId::at(cell.level + 1, pos);
+    ((child.x & 1) + 2 * (child.y & 1)) as usize
+}
+
+fn lca(mut a: CellId, mut b: CellId) -> CellId {
+    while a.level > b.level {
+        a = a.parent().expect("level > 0 has a parent");
+    }
+    while b.level > a.level {
+        b = b.parent().expect("level > 0 has a parent");
+    }
+    while a != b {
+        a = a.parent().expect("paths meet at the root");
+        b = b.parent().expect("paths meet at the root");
+    }
+    a
+}
+
+impl AdaptivePyramid {
+    /// Creates an empty incomplete pyramid with `height` levels.
+    ///
+    /// Initially only the root cell is maintained; registrations grow the
+    /// structure where the user population warrants it.
+    ///
+    /// # Panics
+    /// Panics when `height` is 0 or greater than 16.
+    pub fn new(height: u8) -> Self {
+        assert!(
+            (1..=16).contains(&height),
+            "pyramid height must be in 1..=16"
+        );
+        let mut cells = FastMap::default();
+        cells.insert(
+            CellId::ROOT,
+            CellData {
+                count: 0,
+                leaf: Some(LeafData::empty()),
+            },
+        );
+        Self {
+            height,
+            cells,
+            users: FastMap::default(),
+        }
+    }
+
+    /// The lowest pyramid level (`H - 1`).
+    #[inline]
+    pub fn lowest_level(&self) -> u8 {
+        self.height - 1
+    }
+
+    /// Lowest maintained cell of a registered user.
+    pub fn cell_of(&self, uid: UserId) -> Option<CellId> {
+        self.users.get(&uid).map(|e| e.cid)
+    }
+
+    /// The lowest maintained cell containing `pos`.
+    pub fn leaf_for(&self, pos: Point) -> CellId {
+        let mut cur = CellId::ROOT;
+        loop {
+            match self.cells.get(&cur) {
+                Some(data) if data.leaf.is_none() => cur = cur.child_containing(pos),
+                _ => return cur,
+            }
+        }
+    }
+
+    fn child_area(level: u8) -> f64 {
+        0.25f64.powi(level as i32 + 1)
+    }
+
+    fn leaf_area(level: u8) -> f64 {
+        0.25f64.powi(level as i32)
+    }
+
+    /// Adds `u` to leaf summaries (not the count chain). Returns the
+    /// quadrant the user landed in.
+    fn leaf_add(&mut self, leaf: CellId, uid: UserId, profile: Profile, pos: Point) -> usize {
+        let q = if leaf.level < self.height - 1 {
+            quadrant(leaf, pos)
+        } else {
+            0
+        };
+        let lowest = leaf.level == self.height - 1;
+        let data = self
+            .cells
+            .get_mut(&leaf)
+            .and_then(|c| c.leaf.as_mut())
+            .expect("leaf_add target must be a leaf");
+        data.users.push(uid);
+        if !lowest {
+            data.child_counts[q] += 1;
+            if profile.a_min <= Self::child_area(leaf.level) {
+                data.min_k[q] = data.min_k[q].min(profile.k);
+            }
+        }
+        if profile.a_min <= Self::leaf_area(leaf.level) {
+            data.min_k_leaf = data.min_k_leaf.min(profile.k);
+        }
+        q
+    }
+
+    /// Removes `u` from leaf summaries, recomputing minima when the
+    /// departing user held them (the paper's "update u_r if necessary").
+    fn leaf_remove(&mut self, leaf: CellId, uid: UserId, profile: Profile, pos: Point) {
+        let lowest = leaf.level == self.height - 1;
+        let q = if lowest { 0 } else { quadrant(leaf, pos) };
+        // Collect the data needed for recomputation before mutably
+        // borrowing the map entry.
+        let needs_rescan_q;
+        let needs_rescan_leaf;
+        {
+            let data = self
+                .cells
+                .get_mut(&leaf)
+                .and_then(|c| c.leaf.as_mut())
+                .expect("leaf_remove target must be a leaf");
+            let idx = data
+                .users
+                .iter()
+                .position(|u| *u == uid)
+                .expect("user must be a member of her leaf");
+            data.users.swap_remove(idx);
+            if !lowest {
+                data.child_counts[q] -= 1;
+            }
+            needs_rescan_q = !lowest && data.min_k[q] == profile.k;
+            needs_rescan_leaf = data.min_k_leaf == profile.k;
+        }
+        if needs_rescan_q {
+            self.recompute_min_k_quadrant(leaf, q);
+        }
+        if needs_rescan_leaf {
+            self.recompute_min_k_leaf(leaf);
+        }
+    }
+
+    fn recompute_min_k_quadrant(&mut self, leaf: CellId, q: usize) {
+        let child_area = Self::child_area(leaf.level);
+        let members: Vec<UserId> = self.cells[&leaf].leaf.as_ref().expect("leaf").users.clone();
+        let mut min_k = u32::MAX;
+        for uid in members {
+            let e = &self.users[&uid];
+            if quadrant(leaf, e.pos) == q && e.profile.a_min <= child_area {
+                min_k = min_k.min(e.profile.k);
+            }
+        }
+        self.cells
+            .get_mut(&leaf)
+            .and_then(|c| c.leaf.as_mut())
+            .expect("leaf")
+            .min_k[q] = min_k;
+    }
+
+    fn recompute_min_k_leaf(&mut self, leaf: CellId) {
+        let leaf_area = Self::leaf_area(leaf.level);
+        let members: Vec<UserId> = self.cells[&leaf].leaf.as_ref().expect("leaf").users.clone();
+        let mut min_k = u32::MAX;
+        for uid in members {
+            let e = &self.users[&uid];
+            if e.profile.a_min <= leaf_area {
+                min_k = min_k.min(e.profile.k);
+            }
+        }
+        self.cells
+            .get_mut(&leaf)
+            .and_then(|c| c.leaf.as_mut())
+            .expect("leaf")
+            .min_k_leaf = min_k;
+    }
+
+    /// Adjusts the counter chain from `cell` up to (excluding) `stop_above`.
+    fn add_along_path(&mut self, cid: CellId, delta: i64, stop_above: Option<CellId>) -> u64 {
+        let mut cur = Some(cid);
+        let mut touched = 0;
+        while let Some(c) = cur {
+            if Some(c) == stop_above {
+                break;
+            }
+            let data = self.cells.get_mut(&c).expect("path cells are maintained");
+            data.count = (data.count as i64 + delta) as u32;
+            touched += 1;
+            cur = c.parent();
+        }
+        touched
+    }
+
+    /// Splits `leaf` into its four children and cascades further splits
+    /// where warranted. Returns the accumulated maintenance cost.
+    fn try_split(&mut self, leaf: CellId, stats: &mut MaintenanceStats) {
+        let mut stack = vec![leaf];
+        while let Some(cid) = stack.pop() {
+            if cid.level >= self.height - 1 {
+                continue;
+            }
+            let Some(data) = self.cells.get(&cid) else {
+                continue;
+            };
+            let Some(leaf_data) = data.leaf.as_ref() else {
+                continue;
+            };
+            let splittable = (0..4).any(|q| {
+                leaf_data.min_k[q] != u32::MAX && leaf_data.child_counts[q] >= leaf_data.min_k[q]
+            });
+            if !splittable {
+                continue;
+            }
+            // Materialise the four children and redistribute members.
+            let leaf_data = self
+                .cells
+                .get_mut(&cid)
+                .expect("checked above")
+                .leaf
+                .take()
+                .expect("checked above");
+            let children = cid.children();
+            for child in children {
+                self.cells.insert(
+                    child,
+                    CellData {
+                        count: 0,
+                        leaf: Some(LeafData::empty()),
+                    },
+                );
+            }
+            stats.cells_created += 4;
+            stats.counter_updates += 4;
+            stats.splits += 1;
+            for uid in leaf_data.users {
+                let (profile, pos) = {
+                    let e = &self.users[&uid];
+                    (e.profile, e.pos)
+                };
+                let child = cid.child_containing(pos);
+                self.cells.get_mut(&child).expect("just created").count += 1;
+                self.leaf_add(child, uid, profile, pos);
+                self.users.get_mut(&uid).expect("member").cid = child;
+                stats.hash_updates += 1;
+            }
+            stack.extend(children);
+        }
+    }
+
+    /// Attempts to merge the sibling group of `leaf` into its parent, then
+    /// cascades upward while the merge condition keeps holding.
+    fn try_merge(&mut self, leaf: CellId, stats: &mut MaintenanceStats) {
+        let mut cur = leaf;
+        while let Some(parent) = cur.parent() {
+            let siblings = parent.children();
+            // All four must be maintained leaves whose population cannot be
+            // satisfied at this level.
+            let mergeable = siblings.iter().all(|s| {
+                self.cells
+                    .get(s)
+                    .and_then(|d| d.leaf.as_ref().map(|l| (d.count, l.min_k_leaf)))
+                    .is_some_and(|(count, min_k)| count < min_k)
+            });
+            if !mergeable {
+                return;
+            }
+            let mut members = Vec::new();
+            for s in siblings {
+                let data = self.cells.remove(&s).expect("checked above");
+                members.extend(data.leaf.expect("checked above").users);
+            }
+            stats.cells_removed += 4;
+            stats.merges += 1;
+            let parent_data = self.cells.get_mut(&parent).expect("parent is maintained");
+            parent_data.leaf = Some(LeafData::empty());
+            for uid in members {
+                let (profile, pos) = {
+                    let e = &self.users[&uid];
+                    (e.profile, e.pos)
+                };
+                self.leaf_add(parent, uid, profile, pos);
+                self.users.get_mut(&uid).expect("member").cid = parent;
+                stats.hash_updates += 1;
+            }
+            cur = parent;
+        }
+    }
+
+    /// Verifies structural invariants; intended for tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // Root maintained; root count equals population.
+        let Some(root) = self.cells.get(&CellId::ROOT) else {
+            return Err("root cell missing".into());
+        };
+        if root.count as usize != self.users.len() {
+            return Err(format!(
+                "root count {} != user count {}",
+                root.count,
+                self.users.len()
+            ));
+        }
+        for (cid, data) in &self.cells {
+            match &data.leaf {
+                None => {
+                    // Internal: all 4 children maintained; count consistent.
+                    let mut sum = 0;
+                    for child in cid.children() {
+                        let Some(cd) = self.cells.get(&child) else {
+                            return Err(format!("internal {cid} missing child {child}"));
+                        };
+                        sum += cd.count;
+                    }
+                    if sum != data.count {
+                        return Err(format!(
+                            "internal {cid} count {} != children sum {sum}",
+                            data.count
+                        ));
+                    }
+                }
+                Some(leaf) => {
+                    if cid.level < self.height - 1 {
+                        for child in cid.children() {
+                            if self.cells.contains_key(&child) {
+                                return Err(format!("leaf {cid} has maintained child {child}"));
+                            }
+                        }
+                        let qsum: u32 = leaf.child_counts.iter().sum();
+                        if qsum != data.count {
+                            return Err(format!(
+                                "leaf {cid} quadrant sum {qsum} != count {}",
+                                data.count
+                            ));
+                        }
+                        // min_k summaries must be exact.
+                        let child_area = Self::child_area(cid.level);
+                        let mut expect = [u32::MAX; 4];
+                        for uid in &leaf.users {
+                            let e = &self.users[uid];
+                            if e.profile.a_min <= child_area {
+                                let q = quadrant(*cid, e.pos);
+                                expect[q] = expect[q].min(e.profile.k);
+                            }
+                        }
+                        if expect != leaf.min_k {
+                            return Err(format!(
+                                "leaf {cid} min_k {:?} != expected {expect:?}",
+                                leaf.min_k
+                            ));
+                        }
+                    }
+                    if leaf.users.len() != data.count as usize {
+                        return Err(format!(
+                            "leaf {cid} member list {} != count {}",
+                            leaf.users.len(),
+                            data.count
+                        ));
+                    }
+                    let leaf_area = Self::leaf_area(cid.level);
+                    let mut expect_leaf = u32::MAX;
+                    for uid in &leaf.users {
+                        let e = &self.users[uid];
+                        if e.profile.a_min <= leaf_area {
+                            expect_leaf = expect_leaf.min(e.profile.k);
+                        }
+                    }
+                    if expect_leaf != leaf.min_k_leaf {
+                        return Err(format!(
+                            "leaf {cid} min_k_leaf {} != expected {expect_leaf}",
+                            leaf.min_k_leaf
+                        ));
+                    }
+                }
+            }
+        }
+        // Every user's cell is a maintained leaf containing her position.
+        for (uid, e) in &self.users {
+            match self.cells.get(&e.cid) {
+                Some(d) if d.leaf.is_some() => {
+                    if !e.cid.rect().contains(e.pos) {
+                        return Err(format!("{uid} leaf {} does not contain {:?}", e.cid, e.pos));
+                    }
+                    if self.leaf_for(e.pos) != e.cid {
+                        return Err(format!("{uid} hash points at non-lowest leaf {}", e.cid));
+                    }
+                }
+                _ => return Err(format!("{uid} points at non-leaf {}", e.cid)),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl CellStore for AdaptivePyramid {
+    #[inline]
+    fn count(&self, cid: CellId) -> u32 {
+        self.cells.get(&cid).map_or(0, |d| d.count)
+    }
+}
+
+impl PyramidStructure for AdaptivePyramid {
+    fn height(&self) -> u8 {
+        self.height
+    }
+
+    fn register(&mut self, uid: UserId, profile: Profile, pos: Point) -> MaintenanceStats {
+        if self.users.contains_key(&uid) {
+            let mut stats = self.update_profile(uid, profile);
+            stats += self.update_location(uid, pos);
+            return stats;
+        }
+        let mut stats = MaintenanceStats::ZERO;
+        let leaf = self.leaf_for(pos);
+        stats.counter_updates += self.add_along_path(leaf, 1, None);
+        self.users.insert(
+            uid,
+            UserEntry {
+                profile,
+                pos,
+                cid: leaf,
+            },
+        );
+        self.leaf_add(leaf, uid, profile, pos);
+        stats.hash_updates += 1;
+        self.try_split(leaf, &mut stats);
+        stats
+    }
+
+    fn update_location(&mut self, uid: UserId, pos: Point) -> MaintenanceStats {
+        let Some(&UserEntry {
+            profile,
+            pos: old_pos,
+            cid: old_leaf,
+        }) = self.users.get(&uid)
+        else {
+            return MaintenanceStats::ZERO;
+        };
+        let mut stats = MaintenanceStats::ZERO;
+        let new_leaf = self.leaf_for(pos);
+        if new_leaf == old_leaf {
+            // Same maintained cell: only the quadrant summaries can change.
+            self.users.get_mut(&uid).expect("present").pos = pos;
+            if old_leaf.level < self.height - 1
+                && quadrant(old_leaf, old_pos) != quadrant(old_leaf, pos)
+            {
+                self.leaf_remove(old_leaf, uid, profile, old_pos);
+                self.leaf_add(old_leaf, uid, profile, pos);
+                self.try_split(old_leaf, &mut stats);
+            }
+            return stats;
+        }
+        // Cross-cell move: adjust both counter chains below the LCA.
+        self.leaf_remove(old_leaf, uid, profile, old_pos);
+        let meet = lca(old_leaf, new_leaf);
+        stats.counter_updates += self.add_along_path(old_leaf, -1, Some(meet));
+        stats.counter_updates += self.add_along_path(new_leaf, 1, Some(meet));
+        {
+            let e = self.users.get_mut(&uid).expect("present");
+            e.pos = pos;
+            e.cid = new_leaf;
+        }
+        self.leaf_add(new_leaf, uid, profile, pos);
+        stats.hash_updates += 1;
+        // Departure may allow merging around the old cell; arrival may
+        // warrant splitting the new one.
+        self.try_merge(old_leaf, &mut stats);
+        // The split target may have been merged away; recompute the leaf.
+        let target = self.leaf_for(pos);
+        self.try_split(target, &mut stats);
+        stats
+    }
+
+    fn update_profile(&mut self, uid: UserId, profile: Profile) -> MaintenanceStats {
+        let Some(&UserEntry {
+            profile: old_profile,
+            pos,
+            cid,
+        }) = self.users.get(&uid)
+        else {
+            return MaintenanceStats::ZERO;
+        };
+        let mut stats = MaintenanceStats::ZERO;
+        self.leaf_remove(cid, uid, old_profile, pos);
+        self.users.get_mut(&uid).expect("present").profile = profile;
+        self.leaf_add(cid, uid, profile, pos);
+        stats.hash_updates += 1;
+        // A more relaxed profile may enable a split; a stricter one may
+        // enable a merge.
+        self.try_split(cid, &mut stats);
+        let leaf_now = self.leaf_for(pos);
+        self.try_merge(leaf_now, &mut stats);
+        stats
+    }
+
+    fn deregister(&mut self, uid: UserId) -> MaintenanceStats {
+        let Some(&UserEntry { profile, pos, cid }) = self.users.get(&uid) else {
+            return MaintenanceStats::ZERO;
+        };
+        let mut stats = MaintenanceStats::ZERO;
+        self.leaf_remove(cid, uid, profile, pos);
+        stats.counter_updates += self.add_along_path(cid, -1, None);
+        self.users.remove(&uid);
+        stats.hash_updates += 1;
+        self.try_merge(cid, &mut stats);
+        stats
+    }
+
+    fn cloak_user(&self, uid: UserId) -> Option<CloakedRegion> {
+        let entry = self.users.get(&uid)?;
+        Some(bottom_up_cloak(self, entry.profile, entry.cid))
+    }
+
+    fn cloak_point(&self, pos: Point, profile: Profile) -> CloakedRegion {
+        bottom_up_cloak(self, profile, self.leaf_for(pos))
+    }
+
+    fn position_of(&self, uid: UserId) -> Option<Point> {
+        self.users.get(&uid).map(|e| e.pos)
+    }
+
+    fn profile_of(&self, uid: UserId) -> Option<Profile> {
+        self.users.get(&uid).map(|e| e.profile)
+    }
+
+    fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    fn user_ids(&self) -> Vec<UserId> {
+        self.users.keys().copied().collect()
+    }
+
+    fn maintained_cells(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn uid(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    #[test]
+    fn starts_with_only_the_root() {
+        let p = AdaptivePyramid::new(9);
+        assert_eq!(p.maintained_cells(), 1);
+        assert_eq!(p.leaf_for(Point::new(0.3, 0.7)), CellId::ROOT);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn relaxed_users_cause_splits() {
+        let mut p = AdaptivePyramid::new(6);
+        // A k = 1 user is satisfied by any cell containing her, so splits
+        // cascade down to the lowest level on her first registration.
+        let stats = p.register(uid(1), Profile::RELAXED, Point::new(0.1, 0.1));
+        assert!(stats.splits > 0, "arrival of a satisfiable user must split");
+        p.register(uid(2), Profile::RELAXED, Point::new(0.11, 0.1));
+        assert!(p.maintained_cells() > 1);
+        p.check_invariants().unwrap();
+        // Both users now live in a deep leaf.
+        assert!(p.cell_of(uid(1)).unwrap().level > 0);
+    }
+
+    #[test]
+    fn strict_users_keep_the_pyramid_shallow() {
+        let mut p = AdaptivePyramid::new(9);
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..100 {
+            p.register(
+                uid(i),
+                Profile::new(1000, 0.0), // unsatisfiable anywhere below root
+                Point::new(rng.gen(), rng.gen()),
+            );
+        }
+        assert_eq!(p.maintained_cells(), 1, "nobody can use deeper cells");
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn departure_triggers_merge() {
+        let mut p = AdaptivePyramid::new(6);
+        p.register(uid(1), Profile::RELAXED, Point::new(0.1, 0.1));
+        p.register(uid(2), Profile::RELAXED, Point::new(0.11, 0.1));
+        let cells_after_split = p.maintained_cells();
+        assert!(cells_after_split > 1);
+        // Removing one user leaves a lone k=1 user who is still satisfied
+        // by her own leaf, so no merge yet.
+        p.deregister(uid(2));
+        p.check_invariants().unwrap();
+        // Removing the last user leaves empty leaves which merge away.
+        let stats = p.deregister(uid(1));
+        assert!(stats.merges > 0);
+        assert_eq!(p.maintained_cells(), 1);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn profile_change_reshapes_structure() {
+        let mut p = AdaptivePyramid::new(6);
+        p.register(uid(1), Profile::RELAXED, Point::new(0.6, 0.6));
+        p.register(uid(2), Profile::RELAXED, Point::new(0.61, 0.6));
+        assert!(p.maintained_cells() > 1);
+        // Making both users maximally strict collapses the structure.
+        p.update_profile(uid(1), Profile::new(500, 0.0));
+        p.update_profile(uid(2), Profile::new(500, 0.0));
+        assert_eq!(p.maintained_cells(), 1);
+        p.check_invariants().unwrap();
+        // Relaxing them again re-splits.
+        p.update_profile(uid(1), Profile::RELAXED);
+        p.update_profile(uid(2), Profile::RELAXED);
+        assert!(p.maintained_cells() > 1);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn a_min_limits_split_depth() {
+        let mut p = AdaptivePyramid::new(9);
+        // a_min of a level-2 cell: splits must stop at level 2.
+        let a_min = 0.25f64.powi(2);
+        for i in 0..50 {
+            p.register(
+                uid(i),
+                Profile::new(1, a_min),
+                Point::new(0.3 + (i as f64) * 1e-4, 0.3),
+            );
+        }
+        p.check_invariants().unwrap();
+        let leaf = p.cell_of(uid(0)).unwrap();
+        assert!(
+            leaf.level <= 2,
+            "leaf level {} would violate a_min at cloaking time",
+            leaf.level
+        );
+        let region = p.cloak_user(uid(0)).unwrap();
+        assert!(region.area() >= a_min - 1e-12);
+    }
+
+    #[test]
+    fn movement_between_cells_keeps_invariants() {
+        let mut p = AdaptivePyramid::new(7);
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in 0..100 {
+            p.register(
+                uid(i),
+                Profile::new(rng.gen_range(1..10), 0.0),
+                Point::new(rng.gen(), rng.gen()),
+            );
+        }
+        p.check_invariants().unwrap();
+        for step in 0..500 {
+            let id = uid(step % 100);
+            p.update_location(id, Point::new(rng.gen(), rng.gen()));
+        }
+        p.check_invariants().unwrap();
+        assert_eq!(p.user_count(), 100);
+    }
+
+    #[test]
+    fn small_moves_within_a_leaf_are_cheap() {
+        let mut p = AdaptivePyramid::new(9);
+        p.register(uid(1), Profile::new(50, 0.0), Point::new(0.5001, 0.5001));
+        // Root is the only cell; a tiny move stays inside it.
+        let stats = p.update_location(uid(1), Point::new(0.5002, 0.5001));
+        assert_eq!(stats.counter_updates, 0);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cloaking_satisfies_profiles() {
+        let mut p = AdaptivePyramid::new(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..500 {
+            p.register(
+                uid(i),
+                Profile::new(rng.gen_range(1..30), rng.gen_range(0.0..0.001)),
+                Point::new(rng.gen(), rng.gen()),
+            );
+        }
+        p.check_invariants().unwrap();
+        for i in 0..500 {
+            let profile = p.profile_of(uid(i)).unwrap();
+            let region = p.cloak_user(uid(i)).unwrap();
+            assert!(
+                region.user_count >= profile.k,
+                "user {i}: {} < k={}",
+                region.user_count,
+                profile.k
+            );
+            assert!(region.area() >= profile.a_min - 1e-12);
+            let pos = p.position_of(uid(i)).unwrap();
+            assert!(region.rect.contains(pos));
+        }
+    }
+
+    #[test]
+    fn cloak_is_a_function_of_cell_and_profile_only() {
+        // Quality requirement: two users in the same leaf with the same
+        // profile receive the identical region, so an adversary learns
+        // nothing about positions within the cell.
+        let mut p = AdaptivePyramid::new(8);
+        let profile = Profile::new(2, 0.0);
+        p.register(uid(1), profile, Point::new(0.401, 0.401));
+        p.register(uid(2), profile, Point::new(0.403, 0.402));
+        let c1 = p.cell_of(uid(1)).unwrap();
+        let c2 = p.cell_of(uid(2)).unwrap();
+        if c1 == c2 {
+            assert_eq!(p.cloak_user(uid(1)), p.cloak_user(uid(2)));
+        }
+    }
+
+    #[test]
+    fn deregister_unknown_user_is_noop() {
+        let mut p = AdaptivePyramid::new(5);
+        assert_eq!(p.deregister(uid(9)), MaintenanceStats::ZERO);
+        assert_eq!(
+            p.update_location(uid(9), Point::new(0.5, 0.5)),
+            MaintenanceStats::ZERO
+        );
+    }
+
+    #[test]
+    fn heavy_random_churn_preserves_invariants() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut p = AdaptivePyramid::new(7);
+        let mut live = std::collections::HashSet::new();
+        for step in 0..3000u64 {
+            let id = uid(rng.gen_range(0..300));
+            match rng.gen_range(0..10) {
+                0..=5 => {
+                    if live.contains(&id) {
+                        p.update_location(id, Point::new(rng.gen(), rng.gen()));
+                    }
+                }
+                6..=7 => {
+                    p.register(
+                        id,
+                        Profile::new(rng.gen_range(1..40), rng.gen_range(0.0..0.01)),
+                        Point::new(rng.gen(), rng.gen()),
+                    );
+                    live.insert(id);
+                }
+                8 => {
+                    p.deregister(id);
+                    live.remove(&id);
+                }
+                _ => {
+                    if live.contains(&id) {
+                        p.update_profile(
+                            id,
+                            Profile::new(rng.gen_range(1..40), rng.gen_range(0.0..0.01)),
+                        );
+                    }
+                }
+            }
+            if step % 500 == 0 {
+                p.check_invariants().unwrap();
+            }
+        }
+        p.check_invariants().unwrap();
+        assert_eq!(p.user_count(), live.len());
+    }
+}

@@ -1,0 +1,284 @@
+//! Pyramid cell identifiers and their arithmetic.
+//!
+//! The paper's pyramid (Figure 2) hierarchically decomposes the unit square
+//! into `H` levels; the root (level 0) is one cell covering the whole space
+//! and level `h` has `4^h` cells arranged in a `2^h x 2^h` grid. A cell is
+//! identified by `(level, x, y)` with `x, y < 2^level`.
+
+use casper_geometry::{Point, Rect};
+
+/// Identifier of one pyramid grid cell: the paper's `cid`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId {
+    /// Pyramid level; the root is level 0.
+    pub level: u8,
+    /// Column index within the level, `0 <= x < 2^level`.
+    pub x: u32,
+    /// Row index within the level, `0 <= y < 2^level`.
+    pub y: u32,
+}
+
+impl CellId {
+    /// The root cell covering the whole space.
+    pub const ROOT: CellId = CellId {
+        level: 0,
+        x: 0,
+        y: 0,
+    };
+
+    /// Creates a cell id, asserting the coordinates fit the level.
+    #[inline]
+    pub fn new(level: u8, x: u32, y: u32) -> Self {
+        debug_assert!(level < 32, "pyramid deeper than 32 levels is unsupported");
+        debug_assert!(
+            x < (1 << level) && y < (1 << level),
+            "coordinates outside level grid"
+        );
+        Self { level, x, y }
+    }
+
+    /// Number of cells along one axis at this cell's level (`2^level`).
+    #[inline]
+    pub fn grid_extent(level: u8) -> u32 {
+        1u32 << level
+    }
+
+    /// The cell at `level` containing point `p` of the unit square.
+    ///
+    /// Points on the far boundary (`x == 1.0` or `y == 1.0`) are clamped
+    /// into the last cell so every point of the closed unit square maps to
+    /// exactly one cell. This is the hash function `h(x, y)` of Section 4.1.
+    pub fn at(level: u8, p: Point) -> Self {
+        let n = Self::grid_extent(level);
+        let clamp = |v: f64| -> u32 {
+            let i = (v * n as f64).floor();
+            (i.max(0.0) as u32).min(n - 1)
+        };
+        Self::new(level, clamp(p.x), clamp(p.y))
+    }
+
+    /// Side length of cells at this cell's level (unit space).
+    #[inline]
+    pub fn side(&self) -> f64 {
+        1.0 / Self::grid_extent(self.level) as f64
+    }
+
+    /// Area of the cell: `(1/4)^level` of the unit space.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        let s = self.side();
+        s * s
+    }
+
+    /// The spatial extent of the cell in the unit square.
+    pub fn rect(&self) -> Rect {
+        let s = self.side();
+        Rect::from_coords(
+            self.x as f64 * s,
+            self.y as f64 * s,
+            (self.x + 1) as f64 * s,
+            (self.y + 1) as f64 * s,
+        )
+    }
+
+    /// Parent cell one level up, or `None` for the root.
+    pub fn parent(&self) -> Option<CellId> {
+        if self.level == 0 {
+            return None;
+        }
+        Some(CellId::new(self.level - 1, self.x / 2, self.y / 2))
+    }
+
+    /// The four children one level down, in
+    /// (bottom-left, bottom-right, top-left, top-right) order.
+    pub fn children(&self) -> [CellId; 4] {
+        let l = self.level + 1;
+        let (x, y) = (self.x * 2, self.y * 2);
+        [
+            CellId::new(l, x, y),
+            CellId::new(l, x + 1, y),
+            CellId::new(l, x, y + 1),
+            CellId::new(l, x + 1, y + 1),
+        ]
+    }
+
+    /// The child (one level down) containing point `p`.
+    pub fn child_containing(&self, p: Point) -> CellId {
+        let c = CellId::at(self.level + 1, p);
+        debug_assert_eq!(c.parent(), Some(*self), "point not inside this cell");
+        c
+    }
+
+    /// The horizontal neighbour: the sibling sharing this cell's *row*
+    /// within the same parent (Algorithm 1, line 6).
+    ///
+    /// Returns `None` for the root, which has no siblings.
+    pub fn horizontal_neighbor(&self) -> Option<CellId> {
+        if self.level == 0 {
+            return None;
+        }
+        Some(CellId::new(self.level, self.x ^ 1, self.y))
+    }
+
+    /// The vertical neighbour: the sibling sharing this cell's *column*
+    /// within the same parent (Algorithm 1, line 5).
+    ///
+    /// Returns `None` for the root, which has no siblings.
+    pub fn vertical_neighbor(&self) -> Option<CellId> {
+        if self.level == 0 {
+            return None;
+        }
+        Some(CellId::new(self.level, self.x, self.y ^ 1))
+    }
+
+    /// The ancestor of this cell at `level` (which must not exceed
+    /// `self.level`).
+    pub fn ancestor_at(&self, level: u8) -> CellId {
+        assert!(level <= self.level, "ancestor level must be above the cell");
+        let shift = self.level - level;
+        CellId::new(level, self.x >> shift, self.y >> shift)
+    }
+
+    /// Returns `true` when `self` is `other` or one of its descendants.
+    pub fn is_descendant_of(&self, other: &CellId) -> bool {
+        self.level >= other.level && self.ancestor_at(other.level) == *other
+    }
+}
+
+impl std::fmt::Display for CellId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}({},{})", self.level, self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casper_geometry::approx_eq;
+
+    #[test]
+    fn root_covers_unit_square() {
+        assert_eq!(CellId::ROOT.rect(), Rect::unit());
+        assert!(approx_eq(CellId::ROOT.area(), 1.0));
+        assert!(CellId::ROOT.parent().is_none());
+        assert!(CellId::ROOT.horizontal_neighbor().is_none());
+        assert!(CellId::ROOT.vertical_neighbor().is_none());
+    }
+
+    #[test]
+    fn level_one_quadrants() {
+        let bl = CellId::new(1, 0, 0);
+        assert_eq!(bl.rect(), Rect::from_coords(0.0, 0.0, 0.5, 0.5));
+        assert!(approx_eq(bl.area(), 0.25));
+        let tr = CellId::new(1, 1, 1);
+        assert_eq!(tr.rect(), Rect::from_coords(0.5, 0.5, 1.0, 1.0));
+    }
+
+    #[test]
+    fn at_maps_points_to_cells() {
+        assert_eq!(CellId::at(0, Point::new(0.7, 0.2)), CellId::ROOT);
+        assert_eq!(CellId::at(1, Point::new(0.7, 0.2)), CellId::new(1, 1, 0));
+        assert_eq!(CellId::at(2, Point::new(0.7, 0.2)), CellId::new(2, 2, 0));
+        // Far boundary clamps into the last cell.
+        assert_eq!(CellId::at(2, Point::new(1.0, 1.0)), CellId::new(2, 3, 3));
+        assert_eq!(CellId::at(3, Point::new(0.0, 0.0)), CellId::new(3, 0, 0));
+    }
+
+    #[test]
+    fn at_is_consistent_with_rect_containment() {
+        for level in 0..6u8 {
+            for &(px, py) in &[(0.1, 0.9), (0.5, 0.5), (0.999, 0.001), (0.33, 0.66)] {
+                let p = Point::new(px, py);
+                let cid = CellId::at(level, p);
+                assert!(cid.rect().contains(p), "{cid} should contain {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parent_child_round_trip() {
+        let c = CellId::new(4, 11, 6);
+        let p = c.parent().unwrap();
+        assert_eq!(p, CellId::new(3, 5, 3));
+        assert!(p.children().contains(&c));
+        for child in p.children() {
+            assert_eq!(child.parent(), Some(p));
+            assert!(p.rect().contains_rect(&child.rect()));
+        }
+    }
+
+    #[test]
+    fn children_partition_parent_area() {
+        let p = CellId::new(2, 1, 3);
+        let total: f64 = p.children().iter().map(|c| c.area()).sum();
+        assert!(approx_eq(total, p.area()));
+    }
+
+    #[test]
+    fn child_containing_matches_at() {
+        let p = CellId::new(2, 1, 1); // covers [0.25,0.5]^2
+        let pt = Point::new(0.30, 0.45);
+        let c = p.child_containing(pt);
+        assert_eq!(c, CellId::at(3, pt));
+        assert!(c.rect().contains(pt));
+    }
+
+    #[test]
+    fn neighbors_share_parent() {
+        let c = CellId::new(3, 5, 2);
+        let h = c.horizontal_neighbor().unwrap();
+        let v = c.vertical_neighbor().unwrap();
+        assert_eq!(h, CellId::new(3, 4, 2));
+        assert_eq!(v, CellId::new(3, 5, 3));
+        assert_eq!(h.parent(), c.parent());
+        assert_eq!(v.parent(), c.parent());
+        // Horizontal neighbour shares the row; vertical shares the column.
+        assert_eq!(h.y, c.y);
+        assert_eq!(v.x, c.x);
+        // Neighbouring is symmetric.
+        assert_eq!(h.horizontal_neighbor(), Some(c));
+        assert_eq!(v.vertical_neighbor(), Some(c));
+    }
+
+    #[test]
+    fn neighbor_union_rect_is_contiguous() {
+        let c = CellId::new(3, 5, 2);
+        let h = c.horizontal_neighbor().unwrap();
+        let u = c.rect().union(&h.rect());
+        assert!(approx_eq(u.area(), 2.0 * c.area()));
+        let v = c.vertical_neighbor().unwrap();
+        let u = c.rect().union(&v.rect());
+        assert!(approx_eq(u.area(), 2.0 * c.area()));
+    }
+
+    #[test]
+    fn ancestor_at_walks_up() {
+        let c = CellId::new(5, 21, 9);
+        assert_eq!(c.ancestor_at(5), c);
+        assert_eq!(c.ancestor_at(4), c.parent().unwrap());
+        assert_eq!(c.ancestor_at(0), CellId::ROOT);
+        assert!(c.is_descendant_of(&CellId::ROOT));
+        assert!(c.is_descendant_of(&c));
+        assert!(!CellId::ROOT.is_descendant_of(&c));
+    }
+
+    #[test]
+    fn descendants_lie_within_ancestor_rect() {
+        let a = CellId::new(2, 3, 1);
+        let mut stack = vec![a];
+        while let Some(c) = stack.pop() {
+            assert!(a.rect().contains_rect(&c.rect()));
+            if c.level < 4 {
+                stack.extend(c.children());
+            }
+        }
+    }
+
+    #[test]
+    fn area_shrinks_by_factor_four_per_level() {
+        for level in 0..8u8 {
+            let c = CellId::new(level, 0, 0);
+            assert!(approx_eq(c.area(), 0.25f64.powi(level as i32)));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! A fast, non-cryptographic hasher for the pyramid's hot maps.
+//!
+//! The adaptive pyramid does a `HashMap<CellId, _>` lookup per level of
+//! every cloak, split, merge and counter update; SipHash (std's default)
+//! costs more than the surrounding arithmetic. Keys here are small,
+//! trusted, internally-generated integers — cell ids and user ids — so a
+//! multiply-xor finaliser (the splitmix64 output permutation, the same
+//! construction class as FxHash/wyhash) is sufficient and ~5x faster.
+//! HashDoS resistance is irrelevant: an attacker cannot choose cell ids.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A splitmix64-style streaming hasher over native words.
+#[derive(Debug, Default, Clone)]
+pub struct FastHasher {
+    state: u64,
+}
+
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    // splitmix64 finaliser: full avalanche in three multiply-xor rounds.
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fold arbitrary bytes word-by-word; tail bytes are zero-padded.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.state = mix(self.state ^ u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.state = mix(self.state ^ i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.state = mix(self.state ^ i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.state = mix(self.state ^ i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.state = mix(self.state ^ i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`].
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` keyed with [`FastHasher`].
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` keyed with [`FastHasher`].
+pub type FastSet<K> = std::collections::HashSet<K, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellId;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FastBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = CellId::new(5, 3, 7);
+        assert_eq!(hash_of(&c), hash_of(&c));
+    }
+
+    #[test]
+    fn distinct_cells_rarely_collide() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        let mut collisions = 0;
+        for level in 0..10u8 {
+            let extent = 1u32 << level.min(5);
+            for x in 0..extent {
+                for y in 0..extent {
+                    if !seen.insert(hash_of(&CellId::new(level, x, y))) {
+                        collisions += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            collisions, 0,
+            "64-bit hashes of ~3.5k keys should not collide"
+        );
+    }
+
+    #[test]
+    fn sequential_user_ids_spread_across_buckets() {
+        // The classic failure mode of weak hashes: sequential keys landing
+        // in sequential buckets. Check the low byte looks uniform-ish.
+        let mut histogram = [0u32; 16];
+        for i in 0..16_000u64 {
+            histogram[(hash_of(&crate::UserId(i)) & 0xF) as usize] += 1;
+        }
+        for &h in &histogram {
+            assert!((800..1_200).contains(&h), "bucket skew: {histogram:?}");
+        }
+    }
+
+    #[test]
+    fn byte_stream_and_word_writes_differ_by_position() {
+        // Prefix sensitivity: "ab" then "c" != "a" then "bc" is NOT
+        // guaranteed by this hasher class (it folds per write call), but
+        // identical byte sequences in one call must agree.
+        let mut a = FastHasher::default();
+        a.write(b"hello world");
+        let mut b = FastHasher::default();
+        b.write(b"hello world");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FastHasher::default();
+        c.write(b"hello worle");
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn maps_and_sets_work() {
+        let mut m: FastMap<CellId, u32> = FastMap::default();
+        m.insert(CellId::new(3, 1, 2), 7);
+        assert_eq!(m.get(&CellId::new(3, 1, 2)), Some(&7));
+        let mut s: FastSet<crate::UserId> = FastSet::default();
+        assert!(s.insert(crate::UserId(1)));
+        assert!(!s.insert(crate::UserId(1)));
+    }
+}

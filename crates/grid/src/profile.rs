@@ -1,0 +1,106 @@
+//! User privacy profiles.
+
+/// A user privacy profile `(k, A_min)` as defined in Section 3 of the paper.
+///
+/// * `k` — the user wants to be k-anonymous: the cloaked region must contain
+///   at least `k` users (including the user herself).
+/// * `a_min` — minimum acceptable area of the cloaked region, as a fraction
+///   of the unit space. Useful in dense areas where even a large `k` would
+///   produce a tiny region.
+///
+/// Larger values mean stricter privacy. `k = 1, a_min = 0` effectively asks
+/// for no privacy (the lowest-level cell is always acceptable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Profile {
+    /// k-anonymity requirement (`k >= 1`).
+    pub k: u32,
+    /// Minimum cloaked area as a fraction of the unit space, in `[0, 1]`.
+    pub a_min: f64,
+}
+
+impl Profile {
+    /// Creates a profile, clamping `k` up to 1 and `a_min` into `[0, 1]`.
+    pub fn new(k: u32, a_min: f64) -> Self {
+        Self {
+            k: k.max(1),
+            a_min: a_min.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The most relaxed profile: `k = 1`, no area requirement.
+    pub const RELAXED: Profile = Profile { k: 1, a_min: 0.0 };
+
+    /// Returns `true` when a region with `count` users and area `area`
+    /// satisfies this profile.
+    #[inline]
+    pub fn satisfied_by(&self, count: u32, area: f64) -> bool {
+        count >= self.k && casper_geometry::approx_ge(area, self.a_min)
+    }
+
+    /// Returns `true` when `self` is at least as relaxed as `other` in both
+    /// dimensions (fewer required users and smaller required area).
+    ///
+    /// This is the partial order the adaptive anonymizer's "most relaxed
+    /// user" tracking is based on: a more relaxed profile can be satisfied
+    /// by deeper (smaller) pyramid cells.
+    #[inline]
+    pub fn at_least_as_relaxed_as(&self, other: &Profile) -> bool {
+        self.k <= other.k && self.a_min <= other.a_min
+    }
+}
+
+impl Default for Profile {
+    fn default() -> Self {
+        Profile::RELAXED
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_clamps_inputs() {
+        let p = Profile::new(0, -0.5);
+        assert_eq!(p.k, 1);
+        assert_eq!(p.a_min, 0.0);
+        let p = Profile::new(10, 2.0);
+        assert_eq!(p.a_min, 1.0);
+    }
+
+    #[test]
+    fn satisfied_requires_both_dimensions() {
+        let p = Profile::new(5, 0.1);
+        assert!(p.satisfied_by(5, 0.1));
+        assert!(p.satisfied_by(100, 0.5));
+        assert!(!p.satisfied_by(4, 0.5)); // too few users
+        assert!(!p.satisfied_by(100, 0.05)); // too small
+    }
+
+    #[test]
+    fn satisfied_tolerates_area_epsilon() {
+        let p = Profile::new(1, 0.25);
+        // (1/4)^1 cells have area exactly 0.25 up to float noise.
+        assert!(p.satisfied_by(1, 0.25 - 1e-12));
+    }
+
+    #[test]
+    fn relaxed_is_always_satisfied_by_nonempty_region() {
+        assert!(Profile::RELAXED.satisfied_by(1, 0.0));
+        assert!(!Profile::RELAXED.satisfied_by(0, 1.0));
+    }
+
+    #[test]
+    fn relaxedness_partial_order() {
+        let loose = Profile::new(2, 0.01);
+        let strict = Profile::new(10, 0.1);
+        assert!(loose.at_least_as_relaxed_as(&strict));
+        assert!(!strict.at_least_as_relaxed_as(&loose));
+        assert!(loose.at_least_as_relaxed_as(&loose));
+        // Incomparable profiles are not ordered either way.
+        let a = Profile::new(2, 0.5);
+        let b = Profile::new(10, 0.01);
+        assert!(!a.at_least_as_relaxed_as(&b));
+        assert!(!b.at_least_as_relaxed_as(&a));
+    }
+}

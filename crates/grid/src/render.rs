@@ -1,0 +1,120 @@
+//! ASCII rendering of pyramid state, for debugging and operator
+//! dashboards: occupancy maps per level and the adaptive structure's
+//! maintained-leaf depth map.
+
+use crate::{CellId, CellStore, PyramidStructure};
+
+/// Renders the user-count map of `level` as ASCII art, one character per
+/// cell (` .:+*#` buckets scaled to the densest cell), rows top to bottom.
+pub fn render_level<S: CellStore>(store: &S, level: u8) -> String {
+    let extent = CellId::grid_extent(level);
+    let mut max = 0u32;
+    for y in 0..extent {
+        for x in 0..extent {
+            max = max.max(store.count(CellId::new(level, x, y)));
+        }
+    }
+    let glyphs = [' ', '.', ':', '+', '*', '#'];
+    let mut out = String::with_capacity(((extent + 1) * extent) as usize);
+    for y in (0..extent).rev() {
+        for x in 0..extent {
+            let n = store.count(CellId::new(level, x, y));
+            let g = if max == 0 {
+                ' '
+            } else {
+                let bucket = (n as usize * (glyphs.len() - 1)).div_ceil(max as usize);
+                glyphs[bucket.min(glyphs.len() - 1)]
+            };
+            out.push(g);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the adaptive pyramid's maintained-leaf depth as a digit map at
+/// the given display resolution (a power-of-two grid): each displayed cell
+/// shows the level of the maintained leaf covering it (capped at 9).
+pub fn render_leaf_depths(pyramid: &crate::AdaptivePyramid, display_level: u8) -> String {
+    let extent = CellId::grid_extent(display_level);
+    let mut out = String::with_capacity(((extent + 1) * extent) as usize);
+    for y in (0..extent).rev() {
+        for x in 0..extent {
+            let cell = CellId::new(display_level, x, y);
+            let probe = cell.rect().center();
+            let leaf = pyramid.leaf_for(probe);
+            let d = leaf.level.min(9);
+            out.push(char::from_digit(d as u32, 10).expect("capped at 9"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One-line structural summary of any pyramid
+/// (`users=... cells=... height=...`).
+pub fn summarize<P: PyramidStructure>(p: &P) -> String {
+    format!(
+        "users={} cells={} height={}",
+        p.user_count(),
+        p.maintained_cells(),
+        p.height()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdaptivePyramid, CompletePyramid, Profile, UserId};
+    use casper_geometry::Point;
+
+    #[test]
+    fn render_level_shape_and_density() {
+        let mut p = CompletePyramid::new(4);
+        for i in 0..30 {
+            p.register(
+                UserId(i),
+                Profile::RELAXED,
+                Point::new(0.1 + (i as f64) * 1e-3, 0.9),
+            );
+        }
+        let art = render_level(&p, 3);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 8);
+        assert!(lines.iter().all(|l| l.len() == 8));
+        // The cluster is in the top-left: the first row must contain the
+        // densest glyph, the bottom row must be empty.
+        assert!(lines[0].contains('#'));
+        assert!(lines[7].chars().all(|c| c == ' '));
+    }
+
+    #[test]
+    fn render_empty_pyramid_is_blank() {
+        let p = CompletePyramid::new(3);
+        let art = render_level(&p, 2);
+        assert!(art.chars().all(|c| c == ' ' || c == '\n'));
+    }
+
+    #[test]
+    fn leaf_depth_map_tracks_structure() {
+        let mut p = AdaptivePyramid::new(6);
+        // Everyone strict: structure stays at the root → all zeros.
+        p.register(UserId(1), Profile::new(100, 0.0), Point::new(0.2, 0.2));
+        let art = render_leaf_depths(&p, 3);
+        assert!(art.lines().all(|l| l.chars().all(|c| c == '0')));
+        // A relaxed pair makes part of the map deeper.
+        p.register(UserId(2), Profile::RELAXED, Point::new(0.8, 0.8));
+        p.register(UserId(3), Profile::RELAXED, Point::new(0.81, 0.8));
+        let art = render_leaf_depths(&p, 3);
+        assert!(art.chars().any(|c| c != '0' && c != '\n'));
+    }
+
+    #[test]
+    fn summary_line() {
+        let mut p = CompletePyramid::new(5);
+        p.register(UserId(1), Profile::RELAXED, Point::new(0.5, 0.5));
+        let s = summarize(&p);
+        assert!(s.contains("users=1"));
+        assert!(s.contains("height=5"));
+    }
+}

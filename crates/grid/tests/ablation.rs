@@ -1,0 +1,84 @@
+//! Ablation: what the neighbour-combination step of Algorithm 1
+//! (lines 5–13) buys over a plain single-cell climb.
+
+use casper_geometry::Point;
+use casper_grid::{
+    bottom_up_cloak, bottom_up_cloak_cells_only, CellId, CompletePyramid, Profile,
+    PyramidStructure, UserId,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn populated(n: u64, seed: u64) -> (CompletePyramid, Vec<Point>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = CompletePyramid::new(8);
+    let mut pos = Vec::new();
+    for i in 0..n {
+        let pt = Point::new(rng.gen(), rng.gen());
+        p.register(UserId(i), Profile::RELAXED, pt);
+        pos.push(pt);
+    }
+    (p, pos)
+}
+
+#[test]
+fn both_variants_satisfy_the_profile() {
+    let (p, pos) = populated(500, 1);
+    for k in [2u32, 10, 50] {
+        let profile = Profile::new(k, 0.0);
+        for pt in pos.iter().take(50) {
+            let start = CellId::at(7, *pt);
+            let with = bottom_up_cloak(&p, profile, start);
+            let without = bottom_up_cloak_cells_only(&p, profile, start);
+            assert!(with.user_count >= k);
+            assert!(without.user_count >= k);
+            assert!(with.rect.contains(*pt));
+            assert!(without.rect.contains(*pt));
+        }
+    }
+}
+
+#[test]
+fn neighbor_sharing_never_worse_and_often_better() {
+    let (p, pos) = populated(2_000, 2);
+    let profile = Profile::new(25, 0.0);
+    let mut area_with = 0.0;
+    let mut area_without = 0.0;
+    let mut k_with = 0u64;
+    let mut k_without = 0u64;
+    let mut strictly_better = 0usize;
+    for pt in pos.iter().take(500) {
+        let start = CellId::at(7, *pt);
+        let with = bottom_up_cloak(&p, profile, start);
+        let without = bottom_up_cloak_cells_only(&p, profile, start);
+        // Neighbour sharing can only stop earlier or at the same level.
+        assert!(
+            with.level >= without.level.saturating_sub(0) && with.area() <= without.area() + 1e-12,
+            "sharing produced a larger region: {:?} vs {:?}",
+            with.area(),
+            without.area()
+        );
+        area_with += with.area();
+        area_without += without.area();
+        k_with += with.user_count as u64;
+        k_without += without.user_count as u64;
+        if with.area() < without.area() - 1e-12 {
+            strictly_better += 1;
+        }
+    }
+    assert!(
+        strictly_better > 50,
+        "neighbour sharing should win on a sizeable fraction (won {strictly_better}/500)"
+    );
+    assert!(area_with < area_without);
+    // Smaller regions also mean k' closer to k (less over-anonymisation).
+    assert!(k_with < k_without, "{k_with} vs {k_without}");
+}
+
+#[test]
+fn cells_only_variant_returns_single_cells() {
+    let (p, pos) = populated(300, 3);
+    for pt in pos.iter().take(100) {
+        let region = bottom_up_cloak_cells_only(&p, Profile::new(10, 0.0), CellId::at(7, *pt));
+        assert_eq!(region.cells.len(), 1);
+    }
+}

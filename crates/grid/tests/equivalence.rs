@@ -1,0 +1,152 @@
+//! Cross-structure tests: the basic (complete) and adaptive (incomplete)
+//! pyramids must agree on everything observable through the anonymizer
+//! interface.
+//!
+//! Section 6.1 of the paper states that "both the basic and adaptive
+//! approaches yield the same accuracy as they result in the same cloaked
+//! region from Algorithm 1". That is exactly true for regions found on the
+//! single-cell path; when Algorithm 1 succeeds via a *neighbour union* at a
+//! level below the adaptive structure's maintained leaf, the two can differ
+//! by at most that one union step (the adaptive leaf invariant guarantees
+//! no single deeper cell could have satisfied the profile). The tests below
+//! therefore check (a) exact agreement of user counts and satisfaction, and
+//! (b) that both structures always return *valid* regions, with region
+//! equality asserted whenever the basic result is a single cell at or above
+//! the adaptive leaf.
+
+use casper_geometry::Point;
+use casper_grid::{AdaptivePyramid, CompletePyramid, Profile, PyramidStructure, UserId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Register(u8, f64, f64, u8, f64),
+    Move(u8, f64, f64),
+    Deregister(u8),
+    Reprofile(u8, u8, f64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            any::<u8>(),
+            any::<u8>(),
+            0.0..1.0f64,
+            0.0..1.0f64,
+            1u8..30,
+            0.0..0.01f64
+        )
+            .prop_map(|(id, _, x, y, k, a)| Op::Register(id, x, y, k, a)),
+        (any::<u8>(), 0.0..1.0f64, 0.0..1.0f64).prop_map(|(id, x, y)| Op::Move(id, x, y)),
+        any::<u8>().prop_map(Op::Deregister),
+        (any::<u8>(), 1u8..30, 0.0..0.01f64).prop_map(|(id, k, a)| Op::Reprofile(id, k, a)),
+    ]
+}
+
+fn apply<P: PyramidStructure>(p: &mut P, ops: &[Op]) {
+    for o in ops {
+        match *o {
+            Op::Register(id, x, y, k, a) => {
+                p.register(
+                    UserId(id as u64),
+                    Profile::new(k as u32, a),
+                    Point::new(x, y),
+                );
+            }
+            Op::Move(id, x, y) => {
+                p.update_location(UserId(id as u64), Point::new(x, y));
+            }
+            Op::Deregister(id) => {
+                p.deregister(UserId(id as u64));
+            }
+            Op::Reprofile(id, k, a) => {
+                p.update_profile(UserId(id as u64), Profile::new(k as u32, a));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn structures_agree_after_arbitrary_workloads(ops in prop::collection::vec(op(), 1..80)) {
+        let mut basic = CompletePyramid::new(6);
+        let mut adaptive = AdaptivePyramid::new(6);
+        apply(&mut basic, &ops);
+        apply(&mut adaptive, &ops);
+
+        basic.check_invariants().unwrap();
+        adaptive.check_invariants().unwrap();
+
+        prop_assert_eq!(basic.user_count(), adaptive.user_count());
+
+        for id in 0u64..=255 {
+            let uid = UserId(id);
+            let (b, a) = (basic.cloak_user(uid), adaptive.cloak_user(uid));
+            prop_assert_eq!(b.is_some(), a.is_some());
+            let (Some(b), Some(a)) = (b, a) else { continue };
+            // Both regions must contain the same number of users and both
+            // must satisfy the profile whenever the basic one does.
+            let profile = basic.profile_of(uid).unwrap();
+            let pos = basic.position_of(uid).unwrap();
+            prop_assert!(b.rect.contains(pos));
+            prop_assert!(a.rect.contains(pos));
+            if profile.satisfied_by(b.user_count, b.area()) {
+                prop_assert!(
+                    profile.satisfied_by(a.user_count, a.area()),
+                    "adaptive must satisfy whenever basic does (uid {})", id
+                );
+            }
+            // Exact agreement on the single-cell path: if the basic result
+            // is a single cell at or above the adaptive starting leaf, the
+            // climbs coincide.
+            let leaf = adaptive.cell_of(uid).unwrap();
+            if b.cells.len() == 1 && b.level <= leaf.level {
+                prop_assert_eq!(&b.rect, &a.rect, "uid {}", id);
+                prop_assert_eq!(b.user_count, a.user_count);
+            }
+        }
+    }
+
+    #[test]
+    fn cloaked_regions_satisfy_profiles_when_population_allows(
+        users in prop::collection::vec((0.0..1.0f64, 0.0..1.0f64, 1u32..20), 20..60)
+    ) {
+        let mut basic = CompletePyramid::new(7);
+        let mut adaptive = AdaptivePyramid::new(7);
+        let n = users.len() as u32;
+        for (i, &(x, y, k)) in users.iter().enumerate() {
+            let p = Profile::new(k.min(n), 0.0);
+            basic.register(UserId(i as u64), p, Point::new(x, y));
+            adaptive.register(UserId(i as u64), p, Point::new(x, y));
+        }
+        for i in 0..users.len() {
+            let uid = UserId(i as u64);
+            for region in [basic.cloak_user(uid).unwrap(), adaptive.cloak_user(uid).unwrap()] {
+                let k = basic.profile_of(uid).unwrap().k;
+                prop_assert!(
+                    region.user_count >= k,
+                    "region has {} users, profile wants {}",
+                    region.user_count,
+                    k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn update_costs_are_bounded_by_height(
+        moves in prop::collection::vec((0.0..1.0f64, 0.0..1.0f64), 1..50)
+    ) {
+        let mut basic = CompletePyramid::new(8);
+        basic.register(UserId(1), Profile::new(5, 0.0), Point::new(0.5, 0.5));
+        for &(x, y) in &moves {
+            let stats = basic.update_location(UserId(1), Point::new(x, y));
+            // A move can touch at most 2 * (H - 1) counters
+            // (full down-path and up-path below the root).
+            prop_assert!(stats.counter_updates <= 14);
+        }
+        basic.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,151 @@
+//! Linear-scan index: the correctness oracle and the "ship all targets"
+//! naive strategy of Figure 4c.
+
+use casper_geometry::{Point, Rect};
+
+use crate::{DistanceKind, Entry, Neighbor, ObjectId, SpatialIndex};
+
+/// A spatial "index" that stores entries in a flat vector and answers every
+/// query by scanning. O(n) per query, trivially correct — the oracle the
+/// R-tree and grid index are property-tested against.
+#[derive(Debug, Default, Clone)]
+pub struct BruteForce {
+    entries: Vec<Entry>,
+}
+
+impl BruteForce {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an index from a collection of entries.
+    pub fn from_entries(entries: impl IntoIterator<Item = Entry>) -> Self {
+        Self {
+            entries: entries.into_iter().collect(),
+        }
+    }
+
+    /// All stored entries (unordered).
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+}
+
+impl SpatialIndex for BruteForce {
+    fn insert(&mut self, entry: Entry) {
+        self.entries.push(entry);
+    }
+
+    fn remove(&mut self, id: ObjectId) -> bool {
+        if let Some(idx) = self.entries.iter().position(|e| e.id == id) {
+            self.entries.swap_remove(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn range(&self, query: &Rect) -> Vec<Entry> {
+        self.entries
+            .iter()
+            .filter(|e| e.mbr.intersects(query))
+            .copied()
+            .collect()
+    }
+
+    fn k_nearest(&self, p: Point, k: usize, kind: DistanceKind) -> Vec<Neighbor> {
+        let mut all: Vec<Neighbor> = self
+            .entries
+            .iter()
+            .map(|e| Neighbor {
+                entry: *e,
+                dist: kind.measure(p, &e.mbr),
+            })
+            .collect();
+        all.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(id: u64, x: f64, y: f64) -> Entry {
+        Entry::point(ObjectId(id), Point::new(x, y))
+    }
+
+    #[test]
+    fn insert_len_remove() {
+        let mut idx = BruteForce::new();
+        assert!(idx.is_empty());
+        idx.insert(pt(1, 0.1, 0.1));
+        idx.insert(pt(2, 0.9, 0.9));
+        assert_eq!(idx.len(), 2);
+        assert!(idx.remove(ObjectId(1)));
+        assert!(!idx.remove(ObjectId(1)));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn range_returns_intersecting_entries() {
+        let mut idx = BruteForce::new();
+        idx.insert(pt(1, 0.1, 0.1));
+        idx.insert(pt(2, 0.5, 0.5));
+        idx.insert(pt(3, 0.9, 0.9));
+        idx.insert(Entry::new(
+            ObjectId(4),
+            Rect::from_coords(0.4, 0.4, 0.6, 0.6),
+        ));
+        let hits = idx.range(&Rect::from_coords(0.45, 0.45, 0.55, 0.55));
+        let mut ids: Vec<u64> = hits.iter().map(|e| e.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![2, 4]);
+    }
+
+    #[test]
+    fn k_nearest_orders_by_distance() {
+        let mut idx = BruteForce::new();
+        idx.insert(pt(1, 0.2, 0.0));
+        idx.insert(pt(2, 0.1, 0.0));
+        idx.insert(pt(3, 0.4, 0.0));
+        let nn = idx.k_nearest(Point::new(0.0, 0.0), 2, DistanceKind::Min);
+        assert_eq!(nn.len(), 2);
+        assert_eq!(nn[0].entry.id, ObjectId(2));
+        assert_eq!(nn[1].entry.id, ObjectId(1));
+        assert!(nn[0].dist <= nn[1].dist);
+    }
+
+    #[test]
+    fn nearest_respects_distance_kind() {
+        let mut idx = BruteForce::new();
+        // A big rectangle that is close by min-dist but far by max-dist.
+        idx.insert(Entry::new(
+            ObjectId(1),
+            Rect::from_coords(0.1, 0.0, 2.0, 0.0),
+        ));
+        idx.insert(pt(2, 0.5, 0.0));
+        let p = Point::new(0.0, 0.0);
+        assert_eq!(
+            idx.nearest(p, DistanceKind::Min).unwrap().entry.id,
+            ObjectId(1)
+        );
+        assert_eq!(
+            idx.nearest(p, DistanceKind::Max).unwrap().entry.id,
+            ObjectId(2)
+        );
+    }
+
+    #[test]
+    fn empty_index_queries() {
+        let idx = BruteForce::new();
+        assert!(idx.nearest(Point::ORIGIN, DistanceKind::Min).is_none());
+        assert!(idx.range(&Rect::unit()).is_empty());
+    }
+}

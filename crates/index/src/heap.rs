@@ -1,0 +1,62 @@
+//! A small min-heap keyed by `f64` distances, shared by the best-first
+//! nearest-neighbour searches of the R-tree and the uniform grid.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A heap item: `dist` is the priority (smaller pops first).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MinDist<T> {
+    pub dist: f64,
+    pub item: T,
+}
+
+impl<T> PartialEq for MinDist<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist.total_cmp(&other.dist) == Ordering::Equal
+    }
+}
+
+impl<T> Eq for MinDist<T> {}
+
+impl<T> PartialOrd for MinDist<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for MinDist<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want smallest-first.
+        other.dist.total_cmp(&self.dist)
+    }
+}
+
+/// Min-heap over `MinDist` items.
+pub(crate) type DistHeap<T> = BinaryHeap<MinDist<T>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_smallest_first() {
+        let mut h: DistHeap<u32> = BinaryHeap::new();
+        for (d, i) in [(3.0, 3), (1.0, 1), (2.0, 2)] {
+            h.push(MinDist { dist: d, item: i });
+        }
+        assert_eq!(h.pop().unwrap().item, 1);
+        assert_eq!(h.pop().unwrap().item, 2);
+        assert_eq!(h.pop().unwrap().item, 3);
+    }
+
+    #[test]
+    fn handles_equal_and_zero_distances() {
+        let mut h: DistHeap<u32> = BinaryHeap::new();
+        h.push(MinDist { dist: 0.0, item: 1 });
+        h.push(MinDist { dist: 0.0, item: 2 });
+        assert_eq!(h.pop().unwrap().dist, 0.0);
+        assert_eq!(h.pop().unwrap().dist, 0.0);
+        assert!(h.pop().is_none());
+    }
+}

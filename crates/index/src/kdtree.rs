@@ -1,0 +1,379 @@
+//! A bulk-built kd-tree over point data.
+//!
+//! The spatio-temporal cloaking baseline \[17\] and several of the query
+//! processors the paper cites are built on kd-partitioning; this index
+//! rounds out the substrate so the query processor can be demonstrated on
+//! a third access method. It stores **points only** (public target data);
+//! rectangles belong in the R-tree or the uniform grid.
+//!
+//! The tree is built once from a point set (median splits, alternating
+//! axes) and answers NN and range queries; dynamic updates rebuild lazily
+//! through a small overflow buffer, which keeps the implementation honest
+//! for mostly-static public data (gas stations do not move often).
+
+use casper_geometry::{Point, Rect};
+
+use crate::heap::{DistHeap, MinDist};
+use crate::{DistanceKind, Entry, Neighbor, ObjectId, SpatialIndex};
+
+/// Rebuild once the overflow buffer exceeds this fraction of the tree.
+const REBUILD_FRACTION: f64 = 0.25;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// The splitting point stored at this node.
+    entry: Entry,
+    /// Split axis: 0 = x, 1 = y.
+    axis: u8,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+/// A kd-tree over point entries with lazy rebuilds for updates.
+#[derive(Debug, Clone, Default)]
+pub struct KdTree {
+    nodes: Vec<Node>,
+    root: Option<usize>,
+    /// Recent insertions not yet folded into the tree (linear-scanned).
+    overflow: Vec<Entry>,
+    /// Ids removed but possibly still present in `nodes` (filtered out of
+    /// query results; physically dropped at the next rebuild).
+    tombstones: std::collections::HashSet<ObjectId>,
+    live: usize,
+}
+
+impl KdTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a tree from points (median splits, alternating axes).
+    pub fn bulk_load(entries: impl IntoIterator<Item = Entry>) -> Self {
+        let mut items: Vec<Entry> = entries.into_iter().collect();
+        for e in &items {
+            debug_assert!(
+                e.mbr.area() == 0.0,
+                "KdTree stores points; rectangles belong in the R-tree"
+            );
+        }
+        let mut tree = Self {
+            live: items.len(),
+            ..Self::default()
+        };
+        tree.root = tree.build_rec(&mut items, 0);
+        tree
+    }
+
+    fn build_rec(&mut self, items: &mut [Entry], depth: u8) -> Option<usize> {
+        if items.is_empty() {
+            return None;
+        }
+        let axis = depth % 2;
+        let mid = items.len() / 2;
+        items.select_nth_unstable_by(mid, |a, b| {
+            let (ka, kb) = if axis == 0 {
+                (a.mbr.min.x, b.mbr.min.x)
+            } else {
+                (a.mbr.min.y, b.mbr.min.y)
+            };
+            ka.total_cmp(&kb)
+        });
+        let entry = items[mid];
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            entry,
+            axis,
+            left: None,
+            right: None,
+        });
+        let (lo, rest) = items.split_at_mut(mid);
+        let hi = &mut rest[1..];
+        let left = self.build_rec(lo, depth + 1);
+        let right = self.build_rec(hi, depth + 1);
+        self.nodes[idx].left = left;
+        self.nodes[idx].right = right;
+        Some(idx)
+    }
+
+    fn rebuild(&mut self) {
+        let entries: Vec<Entry> = self.collect_live();
+        *self = Self::bulk_load(entries);
+    }
+
+    fn collect_live(&self) -> Vec<Entry> {
+        self.nodes
+            .iter()
+            .map(|n| n.entry)
+            .chain(self.overflow.iter().copied())
+            .filter(|e| !self.tombstones.contains(&e.id))
+            .collect()
+    }
+
+    fn maybe_rebuild(&mut self) {
+        let dirty = self.overflow.len() + self.tombstones.len();
+        if dirty > 8 && (dirty as f64) > REBUILD_FRACTION * self.live.max(1) as f64 {
+            self.rebuild();
+        }
+    }
+
+    fn range_rec(&self, node: Option<usize>, bounds: &Rect, query: &Rect, out: &mut Vec<Entry>) {
+        let Some(idx) = node else { return };
+        if !bounds.intersects(query) {
+            return;
+        }
+        let n = &self.nodes[idx];
+        let p = n.entry.mbr.min;
+        if query.contains(p) && !self.tombstones.contains(&n.entry.id) {
+            out.push(n.entry);
+        }
+        let (mut lb, mut rb) = (*bounds, *bounds);
+        if n.axis == 0 {
+            lb.max.x = p.x;
+            rb.min.x = p.x;
+        } else {
+            lb.max.y = p.y;
+            rb.min.y = p.y;
+        }
+        self.range_rec(n.left, &lb, query, out);
+        self.range_rec(n.right, &rb, query, out);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum HeapItem {
+    /// Subtree root with its bounding region.
+    Node(usize, Rect),
+    Entry(Entry),
+}
+
+impl SpatialIndex for KdTree {
+    fn insert(&mut self, entry: Entry) {
+        debug_assert!(entry.mbr.area() == 0.0, "KdTree stores points");
+        self.tombstones.remove(&entry.id);
+        self.overflow.push(entry);
+        self.live += 1;
+        self.maybe_rebuild();
+    }
+
+    fn remove(&mut self, id: ObjectId) -> bool {
+        if let Some(pos) = self.overflow.iter().position(|e| e.id == id) {
+            self.overflow.swap_remove(pos);
+            self.live -= 1;
+            return true;
+        }
+        let present = self
+            .nodes
+            .iter()
+            .any(|n| n.entry.id == id && !self.tombstones.contains(&id));
+        if present {
+            self.tombstones.insert(id);
+            self.live -= 1;
+            self.maybe_rebuild();
+        }
+        present
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn range(&self, query: &Rect) -> Vec<Entry> {
+        let everything = Rect::from_coords(
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::INFINITY,
+        );
+        let mut out = Vec::new();
+        self.range_rec(self.root, &everything, query, &mut out);
+        out.extend(
+            self.overflow
+                .iter()
+                .filter(|e| query.contains(e.mbr.min) && !self.tombstones.contains(&e.id))
+                .copied(),
+        );
+        out
+    }
+
+    fn k_nearest(&self, p: Point, k: usize, kind: DistanceKind) -> Vec<Neighbor> {
+        let mut out: Vec<Neighbor> = Vec::with_capacity(k.min(self.live));
+        if k == 0 || self.live == 0 {
+            return out;
+        }
+        let mut heap: DistHeap<HeapItem> = DistHeap::new();
+        let everything = Rect::from_coords(
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::INFINITY,
+        );
+        if let Some(root) = self.root {
+            heap.push(MinDist {
+                dist: 0.0,
+                item: HeapItem::Node(root, everything),
+            });
+        }
+        // Overflow entries join the frontier directly.
+        for e in &self.overflow {
+            if !self.tombstones.contains(&e.id) {
+                heap.push(MinDist {
+                    dist: kind.measure(p, &e.mbr),
+                    item: HeapItem::Entry(*e),
+                });
+            }
+        }
+        while let Some(MinDist { dist, item }) = heap.pop() {
+            match item {
+                HeapItem::Entry(e) => {
+                    out.push(Neighbor { entry: e, dist });
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                HeapItem::Node(idx, bounds) => {
+                    let n = &self.nodes[idx];
+                    if !self.tombstones.contains(&n.entry.id) {
+                        heap.push(MinDist {
+                            dist: kind.measure(p, &n.entry.mbr),
+                            item: HeapItem::Entry(n.entry),
+                        });
+                    }
+                    let q = n.entry.mbr.min;
+                    let (mut lb, mut rb) = (bounds, bounds);
+                    if n.axis == 0 {
+                        lb.max.x = q.x;
+                        rb.min.x = q.x;
+                    } else {
+                        lb.max.y = q.y;
+                        rb.min.y = q.y;
+                    }
+                    for (child, cb) in [(n.left, lb), (n.right, rb)] {
+                        if let Some(c) = child {
+                            heap.push(MinDist {
+                                dist: cb.min_dist(p),
+                                item: HeapItem::Node(c, cb),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BruteForce;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn pts(n: usize, seed: u64) -> Vec<Entry> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| Entry::point(ObjectId(i as u64), Point::new(rng.gen(), rng.gen())))
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::new();
+        assert!(t.is_empty());
+        assert!(t.nearest(Point::ORIGIN, DistanceKind::Min).is_none());
+        assert!(t.range(&Rect::unit()).is_empty());
+    }
+
+    #[test]
+    fn bulk_load_and_query() {
+        let data = pts(500, 1);
+        let t = KdTree::bulk_load(data.iter().copied());
+        let oracle = BruteForce::from_entries(data.iter().copied());
+        assert_eq!(t.len(), 500);
+        let q = Rect::from_coords(0.2, 0.3, 0.5, 0.9);
+        let mut a: Vec<u64> = t.range(&q).iter().map(|e| e.id.0).collect();
+        let mut b: Vec<u64> = oracle.range(&q).iter().map(|e| e.id.0).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nearest_matches_oracle() {
+        let data = pts(800, 2);
+        let t = KdTree::bulk_load(data.iter().copied());
+        let oracle = BruteForce::from_entries(data.iter().copied());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let p = Point::new(rng.gen(), rng.gen());
+            let got = t.nearest(p, DistanceKind::Min).unwrap().dist;
+            let want = oracle.nearest(p, DistanceKind::Min).unwrap().dist;
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn k_nearest_sequence_matches_oracle() {
+        let data = pts(300, 4);
+        let t = KdTree::bulk_load(data.iter().copied());
+        let oracle = BruteForce::from_entries(data.iter().copied());
+        let p = Point::new(0.4, 0.6);
+        let got = t.k_nearest(p, 15, DistanceKind::Min);
+        let want = oracle.k_nearest(p, 15, DistanceKind::Min);
+        assert_eq!(got.len(), 15);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.dist - w.dist).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dynamic_inserts_and_removes() {
+        let mut t = KdTree::bulk_load(pts(100, 5));
+        let mut oracle = BruteForce::from_entries(pts(100, 5));
+        // Insert 50 new, remove 30 existing.
+        let mut rng = StdRng::seed_from_u64(6);
+        for i in 100..150u64 {
+            let e = Entry::point(ObjectId(i), Point::new(rng.gen(), rng.gen()));
+            t.insert(e);
+            oracle.insert(e);
+        }
+        for i in (0..90u64).step_by(3) {
+            assert_eq!(t.remove(ObjectId(i)), oracle.remove(ObjectId(i)));
+        }
+        assert_eq!(t.len(), oracle.len());
+        let q = Rect::from_coords(0.1, 0.1, 0.9, 0.9);
+        let mut a: Vec<u64> = t.range(&q).iter().map(|e| e.id.0).collect();
+        let mut b: Vec<u64> = oracle.range(&q).iter().map(|e| e.id.0).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // NN still correct after churn and rebuilds.
+        let p = Point::new(0.5, 0.5);
+        assert!(
+            (t.nearest(p, DistanceKind::Min).unwrap().dist
+                - oracle.nearest(p, DistanceKind::Min).unwrap().dist)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn remove_missing_is_false() {
+        let mut t = KdTree::bulk_load(pts(10, 7));
+        assert!(!t.remove(ObjectId(999)));
+        assert!(t.remove(ObjectId(3)));
+        assert!(!t.remove(ObjectId(3)));
+        assert_eq!(t.len(), 9);
+    }
+
+    #[test]
+    fn duplicate_positions_are_handled() {
+        let p = Point::new(0.5, 0.5);
+        let entries: Vec<Entry> = (0..20).map(|i| Entry::point(ObjectId(i), p)).collect();
+        let t = KdTree::bulk_load(entries);
+        assert_eq!(t.len(), 20);
+        let nn = t.k_nearest(p, 20, DistanceKind::Min);
+        assert_eq!(nn.len(), 20);
+        assert!(nn.iter().all(|n| n.dist == 0.0));
+    }
+}

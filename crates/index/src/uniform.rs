@@ -1,0 +1,335 @@
+//! A uniform grid index with expanding-ring nearest-neighbour search.
+//!
+//! Grid indexes are what the incremental location-based query processors
+//! the paper builds on (SINA \[34\], CPM \[36\]) actually use; this
+//! implementation demonstrates that the privacy-aware query processor is
+//! independent of the underlying access method.
+
+use std::collections::{HashMap, HashSet};
+
+use casper_geometry::{Point, Rect};
+
+use crate::{DistanceKind, Entry, Neighbor, ObjectId, SpatialIndex};
+
+/// A uniform `g x g` grid over the unit square. Each entry is stored in
+/// every cell its rectangle overlaps; geometry extending beyond the unit
+/// square is clamped into the boundary cells.
+///
+/// Object ids must be unique within one index (same contract as
+/// [`crate::RTree`]).
+#[derive(Debug, Clone)]
+pub struct UniformGrid {
+    resolution: usize,
+    cells: Vec<Vec<Entry>>,
+    id_map: HashMap<ObjectId, Rect>,
+}
+
+impl UniformGrid {
+    /// Creates an empty grid with `resolution` cells per axis
+    /// (clamped into `1..=4096`).
+    pub fn new(resolution: usize) -> Self {
+        let resolution = resolution.clamp(1, 4096);
+        Self {
+            resolution,
+            cells: vec![Vec::new(); resolution * resolution],
+            id_map: HashMap::new(),
+        }
+    }
+
+    /// Creates a grid sized for roughly `n` uniformly distributed objects
+    /// (about one object per cell).
+    pub fn with_capacity_hint(n: usize) -> Self {
+        Self::new(((n as f64).sqrt().ceil() as usize).max(1))
+    }
+
+    /// Grid resolution per axis.
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+
+    #[inline]
+    fn cell_size(&self) -> f64 {
+        1.0 / self.resolution as f64
+    }
+
+    #[inline]
+    fn coord_to_cell(&self, v: f64) -> usize {
+        let i = (v * self.resolution as f64).floor();
+        (i.max(0.0) as usize).min(self.resolution - 1)
+    }
+
+    /// Inclusive cell index ranges covered by `rect`.
+    fn covered(&self, rect: &Rect) -> (usize, usize, usize, usize) {
+        (
+            self.coord_to_cell(rect.min.x),
+            self.coord_to_cell(rect.max.x),
+            self.coord_to_cell(rect.min.y),
+            self.coord_to_cell(rect.max.y),
+        )
+    }
+
+    #[inline]
+    fn bucket(&self, x: usize, y: usize) -> usize {
+        y * self.resolution + x
+    }
+}
+
+impl SpatialIndex for UniformGrid {
+    fn insert(&mut self, entry: Entry) {
+        debug_assert!(
+            !self.id_map.contains_key(&entry.id),
+            "duplicate id inserted into UniformGrid"
+        );
+        self.id_map.insert(entry.id, entry.mbr);
+        let (x0, x1, y0, y1) = self.covered(&entry.mbr);
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let b = self.bucket(x, y);
+                self.cells[b].push(entry);
+            }
+        }
+    }
+
+    fn remove(&mut self, id: ObjectId) -> bool {
+        let Some(rect) = self.id_map.remove(&id) else {
+            return false;
+        };
+        let (x0, x1, y0, y1) = self.covered(&rect);
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let b = self.bucket(x, y);
+                self.cells[b].retain(|e| e.id != id);
+            }
+        }
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.id_map.len()
+    }
+
+    fn range(&self, query: &Rect) -> Vec<Entry> {
+        let clamped = query.clamp_to(&Rect::unit());
+        let (x0, x1, y0, y1) = self.covered(&clamped);
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                for e in &self.cells[self.bucket(x, y)] {
+                    if e.mbr.intersects(query) && seen.insert(e.id) {
+                        out.push(*e);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn k_nearest(&self, p: Point, k: usize, kind: DistanceKind) -> Vec<Neighbor> {
+        if self.id_map.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let s = self.cell_size();
+        let cx = self.coord_to_cell(p.x) as isize;
+        let cy = self.coord_to_cell(p.y) as isize;
+        let n = self.resolution as isize;
+        let mut seen = HashSet::new();
+        let mut candidates: Vec<Neighbor> = Vec::new();
+        // Expand Chebyshev rings around the query cell. After finishing
+        // ring r, every unseen entry lies in a cell at ring >= r + 1, hence
+        // at Euclidean distance >= r * s from p (conservative bound, valid
+        // for both distance kinds because max-dist >= min-dist).
+        let max_ring = 2 * self.resolution as isize; // covers clamped geometry
+        for r in 0..=max_ring {
+            let mut any_cell = false;
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    if dx.abs().max(dy.abs()) != r {
+                        continue; // only the ring boundary
+                    }
+                    let (x, y) = (cx + dx, cy + dy);
+                    if x < 0 || y < 0 || x >= n || y >= n {
+                        continue;
+                    }
+                    any_cell = true;
+                    for e in &self.cells[self.bucket(x as usize, y as usize)] {
+                        if seen.insert(e.id) {
+                            candidates.push(Neighbor {
+                                entry: *e,
+                                dist: kind.measure(p, &e.mbr),
+                            });
+                        }
+                    }
+                }
+            }
+            let bound = r as f64 * s;
+            let settled = candidates.iter().filter(|c| c.dist <= bound).count();
+            if settled >= k.min(self.id_map.len()) {
+                break;
+            }
+            if !any_cell && r > 2 * n {
+                break;
+            }
+        }
+        candidates.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+        candidates.truncate(k);
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BruteForce;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn pt(id: u64, x: f64, y: f64) -> Entry {
+        Entry::point(ObjectId(id), Point::new(x, y))
+    }
+
+    #[test]
+    fn resolution_is_clamped() {
+        assert_eq!(UniformGrid::new(0).resolution(), 1);
+        assert_eq!(UniformGrid::new(10).resolution(), 10);
+        assert_eq!(UniformGrid::with_capacity_hint(100).resolution(), 10);
+    }
+
+    #[test]
+    fn insert_remove_len() {
+        let mut g = UniformGrid::new(8);
+        g.insert(pt(1, 0.1, 0.1));
+        g.insert(Entry::new(
+            ObjectId(2),
+            Rect::from_coords(0.0, 0.0, 0.9, 0.9),
+        ));
+        assert_eq!(g.len(), 2);
+        assert!(g.remove(ObjectId(2)));
+        assert!(!g.remove(ObjectId(2)));
+        assert_eq!(g.len(), 1);
+        // The spanning rect must be gone from every bucket.
+        assert!(g.range(&Rect::unit()).iter().all(|e| e.id != ObjectId(2)));
+    }
+
+    #[test]
+    fn range_deduplicates_spanning_entries() {
+        let mut g = UniformGrid::new(8);
+        g.insert(Entry::new(
+            ObjectId(1),
+            Rect::from_coords(0.1, 0.1, 0.8, 0.8),
+        ));
+        let hits = g.range(&Rect::unit());
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = UniformGrid::new(16);
+        let mut b = BruteForce::new();
+        for i in 0..200u64 {
+            let e = if i % 3 == 0 {
+                let c = Point::new(rng.gen(), rng.gen());
+                Entry::new(
+                    ObjectId(i),
+                    Rect::centered_at(c, rng.gen::<f64>() * 0.1, rng.gen::<f64>() * 0.1),
+                )
+            } else {
+                pt(i, rng.gen(), rng.gen())
+            };
+            g.insert(e);
+            b.insert(e);
+        }
+        for _ in 0..20 {
+            let q = Rect::new(
+                Point::new(rng.gen(), rng.gen()),
+                Point::new(rng.gen(), rng.gen()),
+            );
+            let mut got: Vec<u64> = g.range(&q).iter().map(|e| e.id.0).collect();
+            let mut want: Vec<u64> = b.range(&q).iter().map(|e| e.id.0).collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = UniformGrid::new(16);
+        let mut b = BruteForce::new();
+        for i in 0..300u64 {
+            let e = pt(i, rng.gen(), rng.gen());
+            g.insert(e);
+            b.insert(e);
+        }
+        for _ in 0..50 {
+            let p = Point::new(rng.gen(), rng.gen());
+            let got = g.nearest(p, DistanceKind::Min).unwrap();
+            let want = b.nearest(p, DistanceKind::Min).unwrap();
+            assert!(
+                (got.dist - want.dist).abs() < 1e-12,
+                "grid NN {} != brute NN {}",
+                got.dist,
+                want.dist
+            );
+        }
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force_distances() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = UniformGrid::new(12);
+        let mut b = BruteForce::new();
+        for i in 0..150u64 {
+            let e = pt(i, rng.gen(), rng.gen());
+            g.insert(e);
+            b.insert(e);
+        }
+        let p = Point::new(0.4, 0.6);
+        let got = g.k_nearest(p, 7, DistanceKind::Min);
+        let want = b.k_nearest(p, 7, DistanceKind::Min);
+        assert_eq!(got.len(), 7);
+        for (x, y) in got.iter().zip(&want) {
+            assert!((x.dist - y.dist).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_dist_kind_over_rect_data() {
+        let mut g = UniformGrid::new(8);
+        g.insert(Entry::new(
+            ObjectId(1),
+            Rect::from_coords(0.1, 0.0, 0.9, 0.0),
+        ));
+        g.insert(pt(2, 0.3, 0.0));
+        let p = Point::ORIGIN;
+        assert_eq!(
+            g.nearest(p, DistanceKind::Min).unwrap().entry.id,
+            ObjectId(1)
+        );
+        assert_eq!(
+            g.nearest(p, DistanceKind::Max).unwrap().entry.id,
+            ObjectId(2)
+        );
+    }
+
+    #[test]
+    fn sparse_population_is_still_found() {
+        let mut g = UniformGrid::new(64);
+        g.insert(pt(1, 0.01, 0.01));
+        let found = g
+            .nearest(Point::new(0.99, 0.99), DistanceKind::Min)
+            .unwrap();
+        assert_eq!(found.entry.id, ObjectId(1));
+    }
+
+    #[test]
+    fn k_larger_than_population_returns_all() {
+        let mut g = UniformGrid::new(8);
+        for i in 0..5u64 {
+            g.insert(pt(i, 0.1 * i as f64 + 0.05, 0.5));
+        }
+        let nn = g.k_nearest(Point::new(0.5, 0.5), 50, DistanceKind::Min);
+        assert_eq!(nn.len(), 5);
+    }
+}

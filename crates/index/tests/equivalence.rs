@@ -1,0 +1,140 @@
+//! Property tests: the R-tree and uniform grid must agree with the
+//! brute-force oracle on every query, over mixed point/rectangle data and
+//! under interleaved insertions and deletions.
+
+use casper_geometry::{Point, Rect};
+use casper_index::{BruteForce, DistanceKind, Entry, ObjectId, RTree, SpatialIndex, UniformGrid};
+use proptest::prelude::*;
+
+fn point() -> impl Strategy<Value = Point> {
+    (0.0..1.0f64, 0.0..1.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn geometry() -> impl Strategy<Value = Rect> {
+    prop_oneof![
+        point().prop_map(Rect::point),
+        (point(), 0.0..0.2f64, 0.0..0.2f64).prop_map(|(c, w, h)| Rect::centered_at(c, w, h)),
+    ]
+}
+
+fn sorted_ids(entries: &[Entry]) -> Vec<u64> {
+    let mut ids: Vec<u64> = entries.iter().map(|e| e.id.0).collect();
+    ids.sort_unstable();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn range_queries_agree(
+        geoms in prop::collection::vec(geometry(), 1..120),
+        queries in prop::collection::vec(geometry(), 1..8),
+    ) {
+        let entries: Vec<Entry> = geoms
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| Entry::new(ObjectId(i as u64), g))
+            .collect();
+        let oracle = BruteForce::from_entries(entries.iter().copied());
+        let rtree = RTree::bulk_load(entries.iter().copied());
+        let mut grid = UniformGrid::new(12);
+        for e in &entries {
+            grid.insert(*e);
+        }
+        for q in &queries {
+            let want = sorted_ids(&oracle.range(q));
+            prop_assert_eq!(sorted_ids(&rtree.range(q)), want.clone(), "rtree range mismatch");
+            prop_assert_eq!(sorted_ids(&grid.range(q)), want, "grid range mismatch");
+        }
+    }
+
+    #[test]
+    fn nearest_distances_agree(
+        geoms in prop::collection::vec(geometry(), 1..120),
+        probes in prop::collection::vec(point(), 1..8),
+        kind in prop_oneof![Just(DistanceKind::Min), Just(DistanceKind::Max)],
+    ) {
+        let entries: Vec<Entry> = geoms
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| Entry::new(ObjectId(i as u64), g))
+            .collect();
+        let oracle = BruteForce::from_entries(entries.iter().copied());
+        let rtree = RTree::bulk_load(entries.iter().copied());
+        let mut grid = UniformGrid::new(10);
+        for e in &entries {
+            grid.insert(*e);
+        }
+        for &p in &probes {
+            let want = oracle.nearest(p, kind).unwrap().dist;
+            let rt = rtree.nearest(p, kind).unwrap().dist;
+            let gr = grid.nearest(p, kind).unwrap().dist;
+            prop_assert!((rt - want).abs() < 1e-9, "rtree NN {rt} != {want}");
+            prop_assert!((gr - want).abs() < 1e-9, "grid NN {gr} != {want}");
+        }
+    }
+
+    #[test]
+    fn k_nearest_distance_sequences_agree(
+        geoms in prop::collection::vec(geometry(), 5..100),
+        probe in point(),
+        k in 1usize..20,
+    ) {
+        let entries: Vec<Entry> = geoms
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| Entry::new(ObjectId(i as u64), g))
+            .collect();
+        let oracle = BruteForce::from_entries(entries.iter().copied());
+        let rtree = RTree::bulk_load(entries.iter().copied());
+        let want: Vec<f64> = oracle
+            .k_nearest(probe, k, DistanceKind::Min)
+            .iter()
+            .map(|n| n.dist)
+            .collect();
+        let got: Vec<f64> = rtree
+            .k_nearest(probe, k, DistanceKind::Min)
+            .iter()
+            .map(|n| n.dist)
+            .collect();
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deletions_preserve_agreement(
+        geoms in prop::collection::vec(geometry(), 10..80),
+        removals in prop::collection::vec(any::<prop::sample::Index>(), 1..30),
+        q in geometry(),
+    ) {
+        let entries: Vec<Entry> = geoms
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| Entry::new(ObjectId(i as u64), g))
+            .collect();
+        let mut oracle = BruteForce::from_entries(entries.iter().copied());
+        let mut rtree = RTree::new();
+        let mut grid = UniformGrid::new(8);
+        for e in &entries {
+            rtree.insert(*e);
+            grid.insert(*e);
+        }
+        for r in &removals {
+            let id = ObjectId(r.index(entries.len()) as u64);
+            let a = oracle.remove(id);
+            let b = rtree.remove(id);
+            let c = grid.remove(id);
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(a, c);
+        }
+        rtree.check_invariants().unwrap();
+        let want = sorted_ids(&oracle.range(&q));
+        prop_assert_eq!(sorted_ids(&rtree.range(&q)), want.clone());
+        prop_assert_eq!(sorted_ids(&grid.range(&q)), want);
+        prop_assert_eq!(oracle.len(), rtree.len());
+        prop_assert_eq!(oracle.len(), grid.len());
+    }
+}

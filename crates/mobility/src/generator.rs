@@ -1,0 +1,280 @@
+//! The moving-object generator: objects travel along shortest network
+//! paths at road-class speeds, re-routing to fresh random destinations on
+//! arrival, and report their position every tick — the observable contract
+//! of Brinkhoff's generator \[9\].
+
+use casper_geometry::Point;
+use rand::Rng;
+
+use crate::network::RoadNetwork;
+use crate::route::shortest_path;
+use crate::NodeId;
+
+/// Per-object simulation state.
+#[derive(Debug, Clone)]
+pub struct ObjectState {
+    /// The node path currently being followed.
+    path: Vec<NodeId>,
+    /// Index of the path segment the object is on (`path[seg] ->
+    /// path[seg+1]`).
+    seg: usize,
+    /// Distance already covered along the current segment.
+    offset: f64,
+    /// Current position (cached).
+    pos: Point,
+}
+
+impl ObjectState {
+    /// The object's current position.
+    pub fn position(&self) -> Point {
+        self.pos
+    }
+
+    /// Returns `true` when the object has reached its destination and will
+    /// re-route on the next tick.
+    pub fn arrived(&self) -> bool {
+        self.seg + 1 >= self.path.len()
+    }
+}
+
+/// Generates and advances a fleet of network-constrained moving objects.
+#[derive(Debug, Clone)]
+pub struct MovingObjectGenerator {
+    network: RoadNetwork,
+    objects: Vec<ObjectState>,
+}
+
+impl MovingObjectGenerator {
+    /// Spawns `count` objects at random network nodes, each routed to a
+    /// random destination.
+    pub fn new<R: Rng>(network: RoadNetwork, count: usize, rng: &mut R) -> Self {
+        let mut objects = Vec::with_capacity(count);
+        for _ in 0..count {
+            let start = NodeId(rng.gen_range(0..network.node_count()) as u32);
+            let mut state = ObjectState {
+                path: vec![start],
+                seg: 0,
+                offset: 0.0,
+                pos: network.position(start),
+            };
+            Self::reroute(&network, &mut state, rng);
+            objects.push(state);
+        }
+        Self { network, objects }
+    }
+
+    fn reroute<R: Rng>(network: &RoadNetwork, state: &mut ObjectState, rng: &mut R) {
+        let here = *state.path.last().expect("path never empty");
+        // Pick a destination different from the current node when possible.
+        let mut dest = here;
+        for _ in 0..8 {
+            dest = NodeId(rng.gen_range(0..network.node_count()) as u32);
+            if dest != here {
+                break;
+            }
+        }
+        state.path = shortest_path(network, here, dest).unwrap_or_else(|| vec![here]);
+        state.seg = 0;
+        state.offset = 0.0;
+        state.pos = network.position(here);
+    }
+
+    fn segment_edge(&self, state: &ObjectState) -> Option<u32> {
+        if state.arrived() {
+            return None;
+        }
+        let (a, b) = (state.path[state.seg], state.path[state.seg + 1]);
+        // The fastest edge between consecutive path nodes (shortest_path
+        // follows edges, so one always exists).
+        self.network
+            .neighbors(a)
+            .filter(|(_, other)| *other == b)
+            .min_by(|(x, _), (y, _)| {
+                self.network
+                    .edge_travel_time(*x)
+                    .total_cmp(&self.network.edge_travel_time(*y))
+            })
+            .map(|(ei, _)| ei)
+    }
+
+    /// Advances every object by `dt` time units and returns the new
+    /// positions as `(object index, position)` pairs — one location update
+    /// per object per tick, like the original generator's output file.
+    pub fn tick<R: Rng>(&mut self, dt: f64, rng: &mut R) -> Vec<(usize, Point)> {
+        let mut updates = Vec::with_capacity(self.objects.len());
+        for i in 0..self.objects.len() {
+            let mut remaining = dt;
+            loop {
+                let state = &self.objects[i];
+                let Some(ei) = self.segment_edge(state) else {
+                    // Arrived: choose a fresh destination and continue the
+                    // journey within this tick.
+                    let mut s = self.objects[i].clone();
+                    Self::reroute(&self.network, &mut s, rng);
+                    let went_nowhere = s.arrived();
+                    self.objects[i] = s;
+                    if went_nowhere {
+                        break; // isolated node; stay put this tick
+                    }
+                    continue;
+                };
+                let speed = self.network.edge(ei).class.speed();
+                let len = self.network.edge_length(ei);
+                let state = &mut self.objects[i];
+                let travel = speed * remaining;
+                if state.offset + travel < len {
+                    state.offset += travel;
+                    let a = self.network.position(state.path[state.seg]);
+                    let b = self.network.position(state.path[state.seg + 1]);
+                    let t = if len > 0.0 { state.offset / len } else { 1.0 };
+                    state.pos = a.lerp(b, t);
+                    break;
+                }
+                // Consume the rest of this segment and carry the time over.
+                let used = if speed > 0.0 {
+                    (len - state.offset) / speed
+                } else {
+                    0.0
+                };
+                remaining -= used;
+                state.seg += 1;
+                state.offset = 0.0;
+                state.pos = self.network.position(state.path[state.seg]);
+                if remaining <= 0.0 {
+                    break;
+                }
+            }
+            updates.push((i, self.objects[i].pos));
+        }
+        updates
+    }
+
+    /// Number of simulated objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Returns `true` when no objects are simulated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Current state of an object.
+    pub fn object(&self, i: usize) -> &ObjectState {
+        &self.objects[i]
+    }
+
+    /// The underlying road network.
+    pub fn network(&self) -> &RoadNetwork {
+        &self.network
+    }
+}
+
+/// Draws `count` uniformly distributed target objects (the paper's public
+/// data: "target objects are chosen as uniformly distributed in the
+/// spatial space").
+pub fn uniform_targets<R: Rng>(count: usize, rng: &mut R) -> Vec<Point> {
+    (0..count)
+        .map(|_| Point::new(rng.gen(), rng.gen()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn generator(count: usize, seed: u64) -> (MovingObjectGenerator, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = NetworkBuilder::new().grid(8).build(&mut rng);
+        let g = MovingObjectGenerator::new(net, count, &mut rng);
+        (g, rng)
+    }
+
+    #[test]
+    fn spawns_requested_count_on_network_nodes() {
+        let (g, _) = generator(50, 1);
+        assert_eq!(g.len(), 50);
+        for i in 0..50 {
+            let p = g.object(i).position();
+            // Every start position coincides with some network node.
+            let on_node = (0..g.network().node_count())
+                .any(|n| g.network().position(NodeId(n as u32)).dist(p) < 1e-12);
+            assert!(on_node, "object {i} not on a node");
+        }
+    }
+
+    #[test]
+    fn tick_reports_every_object() {
+        let (mut g, mut rng) = generator(20, 2);
+        let updates = g.tick(1.0, &mut rng);
+        assert_eq!(updates.len(), 20);
+        let mut ids: Vec<usize> = updates.iter().map(|(i, _)| *i).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn movement_is_speed_bounded() {
+        let (mut g, mut rng) = generator(30, 3);
+        let max_speed = crate::EdgeClass::Arterial.speed();
+        let before: Vec<Point> = (0..30).map(|i| g.object(i).position()).collect();
+        let dt = 0.5;
+        let updates = g.tick(dt, &mut rng);
+        for (i, after) in updates {
+            // Straight-line displacement cannot exceed path distance.
+            assert!(
+                before[i].dist(after) <= max_speed * dt + 1e-9,
+                "object {i} teleported"
+            );
+        }
+    }
+
+    #[test]
+    fn positions_stay_in_unit_square() {
+        let (mut g, mut rng) = generator(40, 4);
+        for _ in 0..100 {
+            for (_, p) in g.tick(1.0, &mut rng) {
+                assert!((0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y));
+            }
+        }
+    }
+
+    #[test]
+    fn objects_eventually_move() {
+        let (mut g, mut rng) = generator(10, 5);
+        let before: Vec<Point> = (0..10).map(|i| g.object(i).position()).collect();
+        for _ in 0..10 {
+            g.tick(1.0, &mut rng);
+        }
+        let moved = (0..10)
+            .filter(|&i| g.object(i).position().dist(before[i]) > 1e-6)
+            .count();
+        assert!(moved >= 8, "only {moved}/10 objects moved after 10 ticks");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (mut g1, mut r1) = generator(15, 6);
+        let (mut g2, mut r2) = generator(15, 6);
+        for _ in 0..20 {
+            let u1 = g1.tick(1.0, &mut r1);
+            let u2 = g2.tick(1.0, &mut r2);
+            assert_eq!(u1, u2);
+        }
+    }
+
+    #[test]
+    fn uniform_targets_cover_the_space() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let targets = uniform_targets(1000, &mut rng);
+        assert_eq!(targets.len(), 1000);
+        // Rough uniformity: every quadrant gets a fair share.
+        let q = |f: &dyn Fn(&Point) -> bool| targets.iter().filter(|p| f(p)).count();
+        let bl = q(&|p| p.x < 0.5 && p.y < 0.5);
+        let tr = q(&|p| p.x >= 0.5 && p.y >= 0.5);
+        assert!((150..350).contains(&bl));
+        assert!((150..350).contains(&tr));
+    }
+}

@@ -1,0 +1,35 @@
+//! Network-based generator of moving objects — the workload substrate of
+//! the paper's evaluation (Section 6).
+//!
+//! The paper drives all experiments with Brinkhoff's *Network-based
+//! Generator of Moving Objects* \[9\] over the road map of Hennepin County,
+//! MN. Neither the original Java generator nor that map ships with this
+//! repository, so this crate reimplements the generator's observable
+//! behaviour in Rust over a **synthetic road network**
+//! (see DESIGN.md §4, Substitutions):
+//!
+//! * [`network::NetworkBuilder`] produces a connected road network on the
+//!   unit square — a jittered arterial grid plus random local streets,
+//!   with three speed classes — whose density skew is what the pyramid
+//!   experiments actually exercise;
+//! * [`generator::MovingObjectGenerator`] spawns objects on network nodes,
+//!   routes them along shortest paths ([`route::shortest_path`]) to random
+//!   destinations, advances them tick by tick at per-edge-class speeds and
+//!   re-routes them on arrival — the same output contract as the original
+//!   generator: a stream of `(object, x, y)` updates per tick;
+//! * [`generator::uniform_targets`] draws the uniformly distributed target
+//!   objects (gas stations etc.) the paper uses as public data.
+//!
+//! Everything is deterministic under a caller-supplied RNG seed.
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod network;
+pub mod route;
+pub mod trace;
+
+pub use generator::{uniform_targets, MovingObjectGenerator, ObjectState};
+pub use network::{EdgeClass, NetworkBuilder, NodeId, RoadNetwork};
+pub use route::shortest_path;
+pub use trace::{TickUpdates, Trace};

@@ -1,0 +1,379 @@
+//! Synthetic road networks on the unit square.
+
+use casper_geometry::Point;
+use rand::Rng;
+
+/// Index of a network node (an intersection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Road class, determining travel speed — Brinkhoff's generator
+/// distinguishes road classes the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeClass {
+    /// Fast arterial roads (the jittered grid skeleton).
+    Arterial,
+    /// Mid-speed collector roads.
+    Collector,
+    /// Slow local streets.
+    Local,
+}
+
+impl EdgeClass {
+    /// Travel speed in space units per time unit. The unit square spans
+    /// the whole county, so an arterial crossing takes ~20 ticks.
+    pub fn speed(self) -> f64 {
+        match self {
+            EdgeClass::Arterial => 0.05,
+            EdgeClass::Collector => 0.03,
+            EdgeClass::Local => 0.015,
+        }
+    }
+}
+
+/// An undirected road segment between two nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Road class (speed).
+    pub class: EdgeClass,
+}
+
+/// A connected road network on the unit square.
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    positions: Vec<Point>,
+    edges: Vec<Edge>,
+    /// `adjacency[node]` lists indices into `edges`.
+    adjacency: Vec<Vec<u32>>,
+}
+
+impl RoadNetwork {
+    fn from_parts(positions: Vec<Point>, edges: Vec<Edge>) -> Self {
+        let mut adjacency = vec![Vec::new(); positions.len()];
+        for (i, e) in edges.iter().enumerate() {
+            adjacency[e.a.0 as usize].push(i as u32);
+            adjacency[e.b.0 as usize].push(i as u32);
+        }
+        Self {
+            positions,
+            edges,
+            adjacency,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Position of a node.
+    pub fn position(&self, n: NodeId) -> Point {
+        self.positions[n.0 as usize]
+    }
+
+    /// The edges incident to a node, as `(edge index, other endpoint)`.
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (u32, NodeId)> + '_ {
+        self.adjacency[n.0 as usize].iter().map(move |&ei| {
+            let e = &self.edges[ei as usize];
+            let other = if e.a == n { e.b } else { e.a };
+            (ei, other)
+        })
+    }
+
+    /// An edge by index.
+    pub fn edge(&self, idx: u32) -> &Edge {
+        &self.edges[idx as usize]
+    }
+
+    /// Euclidean length of an edge.
+    pub fn edge_length(&self, idx: u32) -> f64 {
+        let e = &self.edges[idx as usize];
+        self.position(e.a).dist(self.position(e.b))
+    }
+
+    /// Travel time of an edge at its class speed.
+    pub fn edge_travel_time(&self, idx: u32) -> f64 {
+        self.edge_length(idx) / self.edges[idx as usize].class.speed()
+    }
+
+    /// Returns `true` when every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        if self.positions.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.positions.len()];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            for (_, other) in self.neighbors(n) {
+                let i = other.0 as usize;
+                if !seen[i] {
+                    seen[i] = true;
+                    count += 1;
+                    stack.push(other);
+                }
+            }
+        }
+        count == self.positions.len()
+    }
+}
+
+/// Builder for synthetic road networks: a `grid x grid` jittered arterial
+/// skeleton with random collector/local infill, guaranteed connected.
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    grid: usize,
+    local_fraction: f64,
+    jitter: f64,
+}
+
+impl Default for NetworkBuilder {
+    fn default() -> Self {
+        Self {
+            grid: 16,
+            local_fraction: 0.35,
+            jitter: 0.35,
+        }
+    }
+}
+
+impl NetworkBuilder {
+    /// Starts from the defaults (a 16×16 arterial skeleton, comparable in
+    /// node count to a county road map extract).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the arterial grid resolution (clamped into `2..=128`).
+    pub fn grid(mut self, grid: usize) -> Self {
+        self.grid = grid.clamp(2, 128);
+        self
+    }
+
+    /// Sets the fraction of extra local-street nodes relative to the grid
+    /// nodes (clamped into `0.0..=2.0`).
+    pub fn local_fraction(mut self, f: f64) -> Self {
+        self.local_fraction = f.clamp(0.0, 2.0);
+        self
+    }
+
+    /// Sets position jitter as a fraction of grid spacing
+    /// (clamped into `0.0..=0.49`).
+    pub fn jitter(mut self, j: f64) -> Self {
+        self.jitter = j.clamp(0.0, 0.49);
+        self
+    }
+
+    /// Builds the network using the supplied RNG.
+    pub fn build<R: Rng>(&self, rng: &mut R) -> RoadNetwork {
+        let g = self.grid;
+        let spacing = 1.0 / (g - 1) as f64;
+        let mut positions = Vec::with_capacity(g * g);
+        // Jittered grid of arterial intersections.
+        for y in 0..g {
+            for x in 0..g {
+                let jx = (rng.gen::<f64>() - 0.5) * 2.0 * self.jitter * spacing;
+                let jy = (rng.gen::<f64>() - 0.5) * 2.0 * self.jitter * spacing;
+                let px = (x as f64 * spacing + jx).clamp(0.0, 1.0);
+                let py = (y as f64 * spacing + jy).clamp(0.0, 1.0);
+                positions.push(Point::new(px, py));
+            }
+        }
+        let node = |x: usize, y: usize| NodeId((y * g + x) as u32);
+        let mut edges = Vec::new();
+        // Arterial skeleton with occasional demotion to collector so the
+        // speed classes mix; a small fraction of segments is dropped to
+        // break the perfect lattice (connectivity is restored below).
+        for y in 0..g {
+            for x in 0..g {
+                let mut link = |a: NodeId, b: NodeId, rng: &mut R| {
+                    if rng.gen::<f64>() < 0.06 {
+                        return; // dropped segment
+                    }
+                    let class = if rng.gen::<f64>() < 0.7 {
+                        EdgeClass::Arterial
+                    } else {
+                        EdgeClass::Collector
+                    };
+                    edges.push(Edge { a, b, class });
+                };
+                if x + 1 < g {
+                    link(node(x, y), node(x + 1, y), rng);
+                }
+                if y + 1 < g {
+                    link(node(x, y), node(x, y + 1), rng);
+                }
+            }
+        }
+        // Local streets: extra nodes each hooked to their nearest grid
+        // node and one random second connection.
+        let locals = ((g * g) as f64 * self.local_fraction) as usize;
+        for _ in 0..locals {
+            let p = Point::new(rng.gen(), rng.gen());
+            let id = NodeId(positions.len() as u32);
+            positions.push(p);
+            // Nearest grid node by cell arithmetic (cheap and good enough).
+            let gx = ((p.x / spacing).round() as usize).min(g - 1);
+            let gy = ((p.y / spacing).round() as usize).min(g - 1);
+            edges.push(Edge {
+                a: id,
+                b: node(gx, gy),
+                class: EdgeClass::Local,
+            });
+            let rx = rng.gen_range(0..g);
+            let ry = rng.gen_range(0..g);
+            edges.push(Edge {
+                a: id,
+                b: node(rx, ry),
+                class: EdgeClass::Local,
+            });
+        }
+        // Restore connectivity: union-find over the edges, then link any
+        // remaining components through collector roads.
+        let mut parent: Vec<u32> = (0..positions.len() as u32).collect();
+        fn find(parent: &mut [u32], x: u32) -> u32 {
+            let mut root = x;
+            while parent[root as usize] != root {
+                root = parent[root as usize];
+            }
+            let mut cur = x;
+            while parent[cur as usize] != root {
+                let next = parent[cur as usize];
+                parent[cur as usize] = root;
+                cur = next;
+            }
+            root
+        }
+        for e in &edges {
+            let (ra, rb) = (find(&mut parent, e.a.0), find(&mut parent, e.b.0));
+            if ra != rb {
+                parent[ra as usize] = rb;
+            }
+        }
+        for i in 1..positions.len() as u32 {
+            let (ri, r0) = (find(&mut parent, i), find(&mut parent, 0));
+            if ri != r0 {
+                edges.push(Edge {
+                    a: NodeId(i),
+                    b: NodeId(0),
+                    class: EdgeClass::Collector,
+                });
+                parent[ri as usize] = r0;
+            }
+        }
+        RoadNetwork::from_parts(positions, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn build(seed: u64) -> RoadNetwork {
+        NetworkBuilder::new().build(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn default_network_is_connected() {
+        for seed in 0..5 {
+            let n = build(seed);
+            assert!(
+                n.is_connected(),
+                "seed {seed} produced a disconnected network"
+            );
+        }
+    }
+
+    #[test]
+    fn node_and_edge_counts_are_plausible() {
+        let n = build(1);
+        // 16x16 grid + ~35% locals.
+        assert!(n.node_count() >= 256);
+        assert!(n.node_count() <= 256 + 180);
+        // Roughly 2 edges per grid node.
+        assert!(n.edge_count() > n.node_count());
+    }
+
+    #[test]
+    fn positions_stay_in_unit_square() {
+        let n = build(2);
+        for i in 0..n.node_count() {
+            let p = n.position(NodeId(i as u32));
+            assert!((0.0..=1.0).contains(&p.x));
+            assert!((0.0..=1.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = build(7);
+        let b = build(7);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for i in 0..a.node_count() {
+            assert_eq!(a.position(NodeId(i as u32)), b.position(NodeId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = build(1);
+        let b = build(2);
+        let same = (0..a.node_count().min(b.node_count()))
+            .filter(|&i| a.position(NodeId(i as u32)) == b.position(NodeId(i as u32)))
+            .count();
+        assert!(same < a.node_count() / 2);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let n = build(3);
+        for i in 0..n.node_count() {
+            let me = NodeId(i as u32);
+            for (_, other) in n.neighbors(me) {
+                assert!(
+                    n.neighbors(other).any(|(_, back)| back == me),
+                    "edge {me:?} -> {other:?} not symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn travel_time_respects_class_speeds() {
+        let n = build(4);
+        for ei in 0..n.edge_count() as u32 {
+            let len = n.edge_length(ei);
+            let t = n.edge_travel_time(ei);
+            let speed = n.edge(ei).class.speed();
+            assert!((t * speed - len).abs() < 1e-12);
+        }
+        assert!(EdgeClass::Arterial.speed() > EdgeClass::Collector.speed());
+        assert!(EdgeClass::Collector.speed() > EdgeClass::Local.speed());
+    }
+
+    #[test]
+    fn grid_builder_options() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = NetworkBuilder::new()
+            .grid(8)
+            .local_fraction(0.0)
+            .jitter(0.0)
+            .build(&mut rng);
+        assert_eq!(n.node_count(), 64);
+        assert!(n.is_connected());
+        // No jitter: grid positions are exact.
+        assert_eq!(n.position(NodeId(0)), Point::new(0.0, 0.0));
+    }
+}

@@ -1,0 +1,175 @@
+//! Shortest-path routing over the road network (Dijkstra on travel time).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{NodeId, RoadNetwork};
+
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost.total_cmp(&other.cost) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.cost.total_cmp(&self.cost) // min-heap
+    }
+}
+
+/// Computes the minimum-travel-time path from `from` to `to`.
+///
+/// Returns the node sequence including both endpoints, or `None` when `to`
+/// is unreachable (cannot happen on a [`crate::NetworkBuilder`]-built
+/// network, which is connected by construction). A path from a node to
+/// itself is the single-node sequence.
+pub fn shortest_path(net: &RoadNetwork, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+    if from == to {
+        return Some(vec![from]);
+    }
+    let n = net.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[from.0 as usize] = 0.0;
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: from,
+    });
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if node == to {
+            break;
+        }
+        if cost > dist[node.0 as usize] {
+            continue; // stale entry
+        }
+        for (ei, other) in net.neighbors(node) {
+            let next = cost + net.edge_travel_time(ei);
+            if next < dist[other.0 as usize] {
+                dist[other.0 as usize] = next;
+                prev[other.0 as usize] = Some(node);
+                heap.push(HeapEntry {
+                    cost: next,
+                    node: other,
+                });
+            }
+        }
+    }
+    if dist[to.0 as usize].is_infinite() {
+        return None;
+    }
+    let mut path = vec![to];
+    let mut cur = to;
+    while let Some(p) = prev[cur.0 as usize] {
+        path.push(p);
+        cur = p;
+    }
+    debug_assert_eq!(*path.last().unwrap(), from);
+    path.reverse();
+    Some(path)
+}
+
+/// Total travel time along a node path.
+pub fn path_travel_time(net: &RoadNetwork, path: &[NodeId]) -> f64 {
+    path.windows(2)
+        .map(|w| {
+            net.neighbors(w[0])
+                .filter(|(_, other)| *other == w[1])
+                .map(|(ei, _)| net.edge_travel_time(ei))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn net(seed: u64) -> RoadNetwork {
+        NetworkBuilder::new()
+            .grid(8)
+            .build(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn path_to_self_is_singleton() {
+        let n = net(1);
+        assert_eq!(
+            shortest_path(&n, NodeId(3), NodeId(3)).unwrap(),
+            vec![NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn path_connects_endpoints_via_edges() {
+        let n = net(2);
+        let path = shortest_path(&n, NodeId(0), NodeId(62)).unwrap();
+        assert_eq!(path[0], NodeId(0));
+        assert_eq!(*path.last().unwrap(), NodeId(62));
+        for w in path.windows(2) {
+            assert!(
+                n.neighbors(w[0]).any(|(_, other)| other == w[1]),
+                "{:?} -> {:?} is not an edge",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn dijkstra_is_optimal_vs_exhaustive_relaxation() {
+        // Bellman-Ford style relaxation as the oracle on a small network.
+        let n = NetworkBuilder::new()
+            .grid(4)
+            .local_fraction(0.0)
+            .build(&mut StdRng::seed_from_u64(3));
+        let size = n.node_count();
+        let mut dist = vec![f64::INFINITY; size];
+        dist[0] = 0.0;
+        for _ in 0..size {
+            for node in 0..size {
+                if dist[node].is_infinite() {
+                    continue;
+                }
+                for (ei, other) in n.neighbors(NodeId(node as u32)) {
+                    let cand = dist[node] + n.edge_travel_time(ei);
+                    if cand < dist[other.0 as usize] {
+                        dist[other.0 as usize] = cand;
+                    }
+                }
+            }
+        }
+        for (to, &want) in dist.iter().enumerate() {
+            let path = shortest_path(&n, NodeId(0), NodeId(to as u32)).unwrap();
+            let t = path_travel_time(&n, &path);
+            assert!(
+                (t - want).abs() < 1e-9,
+                "node {to}: dijkstra {t} vs oracle {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_pairs_are_reachable() {
+        let n = net(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let a = NodeId(rng.gen_range(0..n.node_count()) as u32);
+            let b = NodeId(rng.gen_range(0..n.node_count()) as u32);
+            assert!(shortest_path(&n, a, b).is_some());
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Recording and replaying movement traces.
+//!
+//! Benchmarks comparing two anonymizer variants must feed them *identical*
+//! movement (the paper's Figures 10b–12b compare update costs on the same
+//! workload). A [`Trace`] captures the generator's output once and replays
+//! it any number of times, decoupling workload generation cost from the
+//! measured structure and guaranteeing byte-identical inputs.
+
+use casper_geometry::Point;
+use rand::Rng;
+
+use crate::MovingObjectGenerator;
+
+/// One recorded tick: `(object index, new position)` per object.
+pub type TickUpdates = Vec<(usize, Point)>;
+
+/// A recorded movement trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Initial object positions (tick 0 state).
+    pub initial: Vec<Point>,
+    /// Updates per subsequent tick.
+    pub ticks: Vec<TickUpdates>,
+}
+
+impl Trace {
+    /// Records `ticks` ticks of `dt` time units from a generator.
+    /// The generator (and its RNG) are consumed forward.
+    pub fn record<R: Rng>(
+        generator: &mut MovingObjectGenerator,
+        rng: &mut R,
+        ticks: usize,
+        dt: f64,
+    ) -> Self {
+        let initial = (0..generator.len())
+            .map(|i| generator.object(i).position())
+            .collect();
+        let ticks = (0..ticks).map(|_| generator.tick(dt, rng)).collect();
+        Self { initial, ticks }
+    }
+
+    /// Number of moving objects.
+    pub fn object_count(&self) -> usize {
+        self.initial.len()
+    }
+
+    /// Number of recorded ticks.
+    pub fn tick_count(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// Total number of location updates in the trace.
+    pub fn update_count(&self) -> usize {
+        self.ticks.iter().map(Vec::len).sum()
+    }
+
+    /// Replays the trace into a consumer: `f(tick, object, position)`.
+    pub fn replay(&self, mut f: impl FnMut(usize, usize, Point)) {
+        for (t, updates) in self.ticks.iter().enumerate() {
+            for &(i, p) in updates {
+                f(t, i, p);
+            }
+        }
+    }
+
+    /// Mean per-tick displacement of the recorded objects — a sanity
+    /// statistic for workload documentation.
+    pub fn mean_displacement(&self) -> f64 {
+        let mut last = self.initial.clone();
+        let mut total = 0.0;
+        let mut moves = 0usize;
+        for updates in &self.ticks {
+            for &(i, p) in updates {
+                total += last[i].dist(p);
+                last[i] = p;
+                moves += 1;
+            }
+        }
+        if moves == 0 {
+            0.0
+        } else {
+            total / moves as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn record(seed: u64, objects: usize, ticks: usize) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = NetworkBuilder::new().grid(8).build(&mut rng);
+        let mut gen = MovingObjectGenerator::new(net, objects, &mut rng);
+        Trace::record(&mut gen, &mut rng, ticks, 1.0)
+    }
+
+    #[test]
+    fn trace_shape_matches_request() {
+        let t = record(1, 25, 10);
+        assert_eq!(t.object_count(), 25);
+        assert_eq!(t.tick_count(), 10);
+        assert_eq!(t.update_count(), 250); // one update per object per tick
+    }
+
+    #[test]
+    fn recording_is_deterministic() {
+        assert_eq!(record(7, 10, 5), record(7, 10, 5));
+        assert_ne!(record(7, 10, 5), record(8, 10, 5));
+    }
+
+    #[test]
+    fn replay_visits_every_update_in_order() {
+        let t = record(2, 5, 4);
+        let mut seen = Vec::new();
+        t.replay(|tick, obj, _| seen.push((tick, obj)));
+        assert_eq!(seen.len(), 20);
+        // Ticks are visited in order.
+        for w in seen.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn displacement_is_positive_and_speed_bounded() {
+        let t = record(3, 30, 10);
+        let d = t.mean_displacement();
+        assert!(d > 0.0);
+        assert!(d <= crate::EdgeClass::Arterial.speed() + 1e-9);
+    }
+
+    #[test]
+    fn two_replays_feed_identical_inputs() {
+        let t = record(4, 8, 6);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        t.replay(|_, i, p| a.push((i, p)));
+        t.replay(|_, i, p| b.push((i, p)));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,311 @@
+//! Aggregate public queries over private data: density surfaces.
+//!
+//! The paper's second query class ("how many cars in a certain area") is a
+//! single count; administrators typically want the whole *surface* — a
+//! traffic heat map. Under the anonymizer's uniformity guarantee
+//! (Section 4.3: a user is uniformly distributed over her cloaked region),
+//! a region contributes to each map cell exactly the fraction of its area
+//! falling in that cell, which makes the expected density surface exact in
+//! expectation and mass-preserving by construction.
+
+use casper_geometry::Rect;
+use casper_index::SpatialIndex;
+
+/// An expected-count density surface over the unit square.
+#[derive(Debug, Clone)]
+pub struct DensityGrid {
+    resolution: usize,
+    cells: Vec<f64>,
+}
+
+impl DensityGrid {
+    /// Builds the surface at `resolution x resolution` from every cloaked
+    /// region stored in `index`.
+    ///
+    /// Regions extending beyond the unit square contribute only their
+    /// in-bounds share (their users are certainly inside the service
+    /// space, so the in-bounds mass is renormalised).
+    pub fn build<I: SpatialIndex>(index: &I, resolution: usize) -> Self {
+        let resolution = resolution.clamp(1, 1024);
+        let mut cells = vec![0.0; resolution * resolution];
+        let step = 1.0 / resolution as f64;
+        for entry in index.range(&Rect::unit()) {
+            let clipped = entry.mbr.clamp_to(&Rect::unit());
+            let mass = clipped.area();
+            if mass <= 0.0 {
+                // Degenerate (point-sized) region: all mass in one cell.
+                let cx = ((clipped.min.x / step) as usize).min(resolution - 1);
+                let cy = ((clipped.min.y / step) as usize).min(resolution - 1);
+                cells[cy * resolution + cx] += 1.0;
+                continue;
+            }
+            let x0 = ((clipped.min.x / step) as usize).min(resolution - 1);
+            let x1 = ((clipped.max.x / step) as usize).min(resolution - 1);
+            let y0 = ((clipped.min.y / step) as usize).min(resolution - 1);
+            let y1 = ((clipped.max.y / step) as usize).min(resolution - 1);
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    let cell = Rect::from_coords(
+                        x as f64 * step,
+                        y as f64 * step,
+                        (x + 1) as f64 * step,
+                        (y + 1) as f64 * step,
+                    );
+                    cells[y * resolution + x] += clipped.overlap_area(&cell) / mass;
+                }
+            }
+        }
+        Self { resolution, cells }
+    }
+
+    /// Grid resolution per axis.
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+
+    /// Expected user count in cell `(x, y)`.
+    pub fn at(&self, x: usize, y: usize) -> f64 {
+        self.cells[y * self.resolution + x]
+    }
+
+    /// Total expected mass — equals the number of stored regions.
+    pub fn total(&self) -> f64 {
+        self.cells.iter().sum()
+    }
+
+    /// The densest cell as `((x, y), expected count)`.
+    pub fn hottest(&self) -> ((usize, usize), f64) {
+        let (idx, &v) = self
+            .cells
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("grid is never empty");
+        ((idx % self.resolution, idx / self.resolution), v)
+    }
+
+    /// Expected count inside an arbitrary query rectangle, by summing the
+    /// covered cells weighted by coverage (fast approximation of
+    /// [`crate::public_range_over_private`]'s exact expectation).
+    pub fn expected_in(&self, query: &Rect) -> f64 {
+        let step = 1.0 / self.resolution as f64;
+        let mut total = 0.0;
+        for y in 0..self.resolution {
+            for x in 0..self.resolution {
+                let cell = Rect::from_coords(
+                    x as f64 * step,
+                    y as f64 * step,
+                    (x + 1) as f64 * step,
+                    (y + 1) as f64 * step,
+                );
+                // Assume the cell's mass is uniform within the cell.
+                total += self.at(x, y) * cell.overlap_area(query) / cell.area();
+            }
+        }
+        total
+    }
+}
+
+/// A bounded history of density surfaces: the administrator's traffic
+/// *flow* view. Frames must share one resolution; the oldest frame is
+/// evicted once `capacity` is reached.
+#[derive(Debug, Clone)]
+pub struct DensityTimeline {
+    resolution: usize,
+    capacity: usize,
+    frames: std::collections::VecDeque<DensityGrid>,
+}
+
+impl DensityTimeline {
+    /// Creates a timeline holding up to `capacity` frames of
+    /// `resolution x resolution` surfaces.
+    pub fn new(resolution: usize, capacity: usize) -> Self {
+        Self {
+            resolution: resolution.clamp(1, 1024),
+            capacity: capacity.max(1),
+            frames: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Number of stored frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Returns `true` when no frames are stored.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Appends a frame (evicting the oldest at capacity).
+    ///
+    /// # Panics
+    /// Panics when the frame's resolution differs from the timeline's.
+    pub fn push(&mut self, frame: DensityGrid) {
+        assert_eq!(
+            frame.resolution(),
+            self.resolution,
+            "timeline frames must share a resolution"
+        );
+        if self.frames.len() == self.capacity {
+            self.frames.pop_front();
+        }
+        self.frames.push_back(frame);
+    }
+
+    /// The latest frame.
+    pub fn latest(&self) -> Option<&DensityGrid> {
+        self.frames.back()
+    }
+
+    /// Per-cell expected-count change between the oldest and newest
+    /// stored frames (`newest - oldest`); `None` with fewer than 2 frames.
+    pub fn flow(&self) -> Option<Vec<f64>> {
+        if self.frames.len() < 2 {
+            return None;
+        }
+        let first = self.frames.front().expect("len >= 2");
+        let last = self.frames.back().expect("len >= 2");
+        let n = self.resolution;
+        let mut out = Vec::with_capacity(n * n);
+        for y in 0..n {
+            for x in 0..n {
+                out.push(last.at(x, y) - first.at(x, y));
+            }
+        }
+        Some(out)
+    }
+
+    /// The cell gaining the most expected mass over the window, as
+    /// `((x, y), gain)` — where the traffic is heading.
+    pub fn fastest_growing(&self) -> Option<((usize, usize), f64)> {
+        let flow = self.flow()?;
+        let (idx, &gain) = flow.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))?;
+        Some(((idx % self.resolution, idx / self.resolution), gain))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casper_geometry::Point;
+    use casper_index::{BruteForce, Entry, ObjectId};
+
+    fn region(id: u64, x0: f64, y0: f64, x1: f64, y1: f64) -> Entry {
+        Entry::new(ObjectId(id), Rect::from_coords(x0, y0, x1, y1))
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let idx = BruteForce::from_entries([
+            region(1, 0.0, 0.0, 0.3, 0.3),
+            region(2, 0.5, 0.5, 0.9, 0.7),
+            region(3, 0.2, 0.6, 0.4, 0.9),
+        ]);
+        let g = DensityGrid::build(&idx, 16);
+        assert!((g.total() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_contained_region_lands_in_its_cells() {
+        // One region exactly covering one grid cell.
+        let idx = BruteForce::from_entries([region(1, 0.25, 0.25, 0.5, 0.5)]);
+        let g = DensityGrid::build(&idx, 4);
+        assert!((g.at(1, 1) - 1.0).abs() < 1e-9);
+        assert!((g.total() - 1.0).abs() < 1e-9);
+        assert_eq!(g.hottest().0, (1, 1));
+    }
+
+    #[test]
+    fn spanning_region_splits_proportionally() {
+        // A region covering the two bottom-left cells equally.
+        let idx = BruteForce::from_entries([region(1, 0.0, 0.0, 0.5, 0.25)]);
+        let g = DensityGrid::build(&idx, 4);
+        assert!((g.at(0, 0) - 0.5).abs() < 1e-9);
+        assert!((g.at(1, 0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_point_region_counts_once() {
+        let idx = BruteForce::from_entries([Entry::point(ObjectId(1), Point::new(0.61, 0.13))]);
+        let g = DensityGrid::build(&idx, 8);
+        assert!((g.total() - 1.0).abs() < 1e-9);
+        assert_eq!(g.hottest().1, 1.0);
+    }
+
+    #[test]
+    fn expected_in_matches_exact_range_expectation() {
+        let entries = [
+            region(1, 0.0, 0.0, 0.25, 0.25),
+            region(2, 0.125, 0.125, 0.375, 0.375),
+            region(3, 0.7, 0.7, 0.95, 0.95),
+        ];
+        let idx = BruteForce::from_entries(entries);
+        // A query aligned to the density grid so the approximation is
+        // exact.
+        let q = Rect::from_coords(0.0, 0.0, 0.5, 0.5);
+        let g = DensityGrid::build(&idx, 8);
+        let exact = crate::public_range_over_private(&idx, &q).expected_count;
+        assert!(
+            (g.expected_in(&q) - exact).abs() < 1e-9,
+            "{} vs {exact}",
+            g.expected_in(&q)
+        );
+    }
+
+    #[test]
+    fn timeline_flow_tracks_migration() {
+        // Population drifts from the bottom-left to the top-right.
+        let frame = |x0: f64| {
+            let idx = BruteForce::from_entries([region(1, x0, x0, x0 + 0.2, x0 + 0.2)]);
+            DensityGrid::build(&idx, 4)
+        };
+        let mut tl = DensityTimeline::new(4, 8);
+        assert!(tl.flow().is_none());
+        tl.push(frame(0.0));
+        tl.push(frame(0.4));
+        tl.push(frame(0.75));
+        assert_eq!(tl.len(), 3);
+        let ((gx, gy), gain) = tl.fastest_growing().unwrap();
+        assert!(
+            gx >= 2 && gy >= 2,
+            "growth must be in the top-right, got ({gx},{gy})"
+        );
+        assert!(gain > 0.0);
+        // Flow sums to ~0: the population size did not change.
+        let net: f64 = tl.flow().unwrap().iter().sum();
+        assert!(net.abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_capacity_evicts_oldest() {
+        let frame = || DensityGrid::build(&BruteForce::new(), 2);
+        let mut tl = DensityTimeline::new(2, 2);
+        tl.push(frame());
+        tl.push(frame());
+        tl.push(frame());
+        assert_eq!(tl.len(), 2);
+        assert!(tl.latest().is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn timeline_rejects_mismatched_resolution() {
+        let mut tl = DensityTimeline::new(4, 2);
+        tl.push(DensityGrid::build(&BruteForce::new(), 8));
+    }
+
+    #[test]
+    fn hottest_cell_finds_the_cluster() {
+        let mut entries = vec![];
+        for i in 0..10 {
+            entries.push(region(i, 0.70, 0.70, 0.80, 0.80)); // cluster
+        }
+        entries.push(region(99, 0.0, 0.0, 0.1, 0.1));
+        let idx = BruteForce::from_entries(entries);
+        let g = DensityGrid::build(&idx, 10);
+        let ((x, y), v) = g.hottest();
+        assert_eq!((x, y), (7, 7));
+        assert!(v > 5.0);
+    }
+}

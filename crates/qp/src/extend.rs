@@ -1,0 +1,243 @@
+//! Steps 2 and 3 of Algorithm 2: the *middle point* and *extended area*
+//! computation.
+//!
+//! For each edge `e_ij = v_i v_j` of the cloaked region the algorithm
+//! bounds the distance from any point on the edge to its assigned filter
+//! target and pushes the corresponding rectangle side outward by that
+//! bound:
+//!
+//! * If both corners share a filter `t`, the bound is
+//!   `max(d(v_i, t), d(v_j, t))` — the distance function along the edge is
+//!   convex, so its maximum is attained at an endpoint (the paper's Case 1,
+//!   Figure 6a).
+//! * Otherwise the perpendicular bisector of the two filters crosses the
+//!   edge at the middle point `m_ij`, splitting it into a `t_i`-nearer and
+//!   a `t_j`-nearer part; the bound is `max(d_i, d_j, d_m)` (Case 2,
+//!   Figure 6b).
+//!
+//! For private data (Section 5.2) distances are measured to the furthest
+//! corner of each filter's cloaked rectangle. The paper's `d_m` takes the
+//! distance from `m_ij` to an endpoint of the line `L_ij` connecting two
+//! specific corners; [`PrivateBoundMode`] selects between that literal
+//! construction and a conservative variant that uses the full
+//! furthest-corner distance from `m_ij` (which is never smaller, preserving
+//! inclusiveness in the corner cases where the literal construction
+//! under-measures — see DESIGN.md).
+
+use casper_geometry::{Line, Point, Rect, Segment};
+use casper_index::Entry;
+
+use crate::VertexFilters;
+
+/// How to bound the middle-point distance for private (rectangular)
+/// target data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrivateBoundMode {
+    /// The paper's literal construction: `d_m` is the distance from `m_ij`
+    /// to an endpoint of `L_ij` (the line connecting the furthest corner of
+    /// `t_i` from `v_j` with the furthest corner of `t_j` from `v_i`).
+    PaperFaithful,
+    /// Conservative: `d_m` is the larger furthest-corner distance from
+    /// `m_ij` to either filter rectangle. Never smaller than the literal
+    /// construction, hence inclusive in all cases. The default.
+    #[default]
+    Safe,
+}
+
+/// Middle point of an edge whose corners have different filters: the
+/// intersection of the filters' perpendicular bisector with the edge.
+/// `bisect_a`/`bisect_b` are the representative points the bisector is
+/// built from. Returns `None` when the bisector misses the edge (possible
+/// with the 1-/2-filter variants, where corner assignments are not true
+/// nearest neighbours).
+fn middle_point(edge: &Segment, bisect_a: Point, bisect_b: Point) -> Option<Point> {
+    let bisector = Line::perpendicular_bisector(bisect_a, bisect_b)?;
+    edge.intersect_line(&bisector)
+}
+
+/// Computes `A_EXT` for **public** (exact point) targets: Algorithm 2
+/// Steps 2–3.
+pub fn extended_area_public(region: &Rect, filters: &VertexFilters) -> Rect {
+    let corners = region.corners();
+    let mut a_ext = *region;
+    for (idx, (side, edge)) in region.edges().iter().enumerate() {
+        let (i, j) = (idx, (idx + 1) % 4);
+        let (t_i, t_j) = (&filters.per_corner[i], &filters.per_corner[j]);
+        let p_i = t_i.mbr.min; // point targets are degenerate rects
+        let p_j = t_j.mbr.min;
+        let d_i = corners[i].dist(p_i);
+        let d_j = corners[j].dist(p_j);
+        let d_m = if t_i.id == t_j.id {
+            0.0
+        } else {
+            match middle_point(edge, p_i, p_j) {
+                Some(m) => m.dist(p_i),
+                // Bisector misses the edge: the whole edge is closer to one
+                // filter; bound it by that filter alone (convexity).
+                None => {
+                    let t = if corners[i].dist(p_j) < corners[i].dist(p_i) {
+                        p_j
+                    } else {
+                        p_i
+                    };
+                    corners[i].dist(t).max(corners[j].dist(t))
+                }
+            }
+        };
+        let max_d = d_i.max(d_j).max(d_m);
+        a_ext = a_ext.expand_side(*side, max_d);
+    }
+    a_ext
+}
+
+/// Computes `A_EXT` for **private** (cloaked rectangle) targets: the
+/// Section 5.2 modification of Steps 2–3.
+pub fn extended_area_private(
+    region: &Rect,
+    filters: &VertexFilters,
+    mode: PrivateBoundMode,
+) -> Rect {
+    let corners = region.corners();
+    let mut a_ext = *region;
+    for (idx, (side, edge)) in region.edges().iter().enumerate() {
+        let (i, j) = (idx, (idx + 1) % 4);
+        let (t_i, t_j) = (&filters.per_corner[i], &filters.per_corner[j]);
+        // d_i: distance from v_i to the furthest corner of t_i from v_i.
+        let d_i = t_i.mbr.max_dist(corners[i]);
+        let d_j = t_j.mbr.max_dist(corners[j]);
+        let d_m = if t_i.id == t_j.id {
+            0.0
+        } else {
+            // L_ij connects the furthest corner of t_i from the *reverse*
+            // vertex v_j with the furthest corner of t_j from v_i.
+            let fc_i = t_i.mbr.farthest_corner(corners[j]);
+            let fc_j = t_j.mbr.farthest_corner(corners[i]);
+            match middle_point(edge, fc_i, fc_j) {
+                Some(m) => match mode {
+                    PrivateBoundMode::PaperFaithful => m.dist(fc_i),
+                    PrivateBoundMode::Safe => t_i.mbr.max_dist(m).max(t_j.mbr.max_dist(m)),
+                },
+                None => {
+                    // Whole edge governed by a single filter: bound both
+                    // endpoints against it conservatively.
+                    let bound =
+                        |t: &Entry| t.mbr.max_dist(corners[i]).max(t.mbr.max_dist(corners[j]));
+                    bound(t_i).min(bound(t_j))
+                }
+            }
+        };
+        let max_d = d_i.max(d_j).max(d_m);
+        a_ext = a_ext.expand_side(*side, max_d);
+    }
+    a_ext
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casper_geometry::approx_eq;
+    use casper_index::ObjectId;
+
+    fn pt(id: u64, x: f64, y: f64) -> Entry {
+        Entry::point(ObjectId(id), Point::new(x, y))
+    }
+
+    fn filters_same(e: Entry) -> VertexFilters {
+        VertexFilters {
+            per_corner: [e; 4],
+            distinct: vec![e],
+        }
+    }
+
+    #[test]
+    fn a_ext_always_contains_the_region() {
+        let region = Rect::from_coords(0.4, 0.4, 0.6, 0.6);
+        let f = filters_same(pt(0, 0.5, 0.5));
+        let ext = extended_area_public(&region, &f);
+        assert!(ext.contains_rect(&region));
+    }
+
+    #[test]
+    fn single_central_filter_expands_by_corner_distance() {
+        // Filter exactly at the region centre: every edge expands by the
+        // distance from its far corner to the centre.
+        let region = Rect::from_coords(0.4, 0.4, 0.6, 0.6);
+        let f = filters_same(pt(0, 0.5, 0.5));
+        let ext = extended_area_public(&region, &f);
+        let half_diag = (0.1f64 * 0.1 + 0.1 * 0.1).sqrt(); // corner-to-centre
+        assert!(approx_eq(region.min.x - ext.min.x, half_diag));
+        assert!(approx_eq(ext.max.x - region.max.x, half_diag));
+        assert!(approx_eq(region.min.y - ext.min.y, half_diag));
+        assert!(approx_eq(ext.max.y - region.max.y, half_diag));
+    }
+
+    #[test]
+    fn filter_on_edge_gives_tight_bound() {
+        // Filter sits exactly on the bottom-left corner: the bottom edge's
+        // bound is the edge length (distance from the far corner).
+        let region = Rect::from_coords(0.0, 0.0, 0.2, 0.2);
+        let f = filters_same(pt(0, 0.0, 0.0));
+        let ext = extended_area_public(&region, &f);
+        // Bottom edge: d_i = 0, d_j = 0.2, no middle point → bound 0.2.
+        assert!(approx_eq(region.min.y - ext.min.y, 0.2));
+        // Right edge: corners (0.2,0) and (0.2,0.2): distances 0.2 and
+        // 0.2*sqrt(2) → bound 0.2*sqrt(2).
+        assert!(approx_eq(ext.max.x - region.max.x, 0.2 * 2f64.sqrt()));
+    }
+
+    #[test]
+    fn two_different_filters_use_middle_point() {
+        // Region edge from (0,0) to (1,0); filters at (0,-0.1) and
+        // (1,-0.1). Bisector x = 0.5 crosses the edge at m = (0.5, 0);
+        // d_m = dist((0.5,0),(0,-0.1)) ≈ 0.50990.
+        let region = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        let t0 = pt(0, 0.0, -0.1);
+        let t1 = pt(1, 1.0, -0.1);
+        let f = VertexFilters {
+            per_corner: [t0, t1, t1, t0],
+            distinct: vec![t0, t1],
+        };
+        let ext = extended_area_public(&region, &f);
+        let d_m = Point::new(0.5, 0.0).dist(Point::new(0.0, -0.1));
+        assert!(approx_eq(region.min.y - ext.min.y, d_m));
+    }
+
+    #[test]
+    fn private_bounds_use_furthest_corners() {
+        let region = Rect::from_coords(0.4, 0.4, 0.6, 0.6);
+        let t = Entry::new(ObjectId(0), Rect::from_coords(0.45, 0.45, 0.55, 0.55));
+        let f = filters_same(t);
+        let ext = extended_area_private(&region, &f, PrivateBoundMode::Safe);
+        // Bottom edge bound: max over corners of max-dist to t's rect.
+        // v0 = (0.4, 0.4): furthest corner of t is (0.55, 0.55) → dist.
+        let d = Point::new(0.4, 0.4).dist(Point::new(0.55, 0.55));
+        assert!(approx_eq(region.min.y - ext.min.y, d));
+        assert!(ext.contains_rect(&region));
+    }
+
+    #[test]
+    fn safe_mode_never_smaller_than_paper_mode() {
+        let region = Rect::from_coords(0.3, 0.3, 0.5, 0.5);
+        let t0 = Entry::new(ObjectId(0), Rect::from_coords(0.0, 0.1, 0.2, 0.3));
+        let t1 = Entry::new(ObjectId(1), Rect::from_coords(0.6, 0.0, 0.9, 0.2));
+        let f = VertexFilters {
+            per_corner: [t0, t1, t1, t0],
+            distinct: vec![t0, t1],
+        };
+        let paper = extended_area_private(&region, &f, PrivateBoundMode::PaperFaithful);
+        let safe = extended_area_private(&region, &f, PrivateBoundMode::Safe);
+        assert!(safe.contains_rect(&paper));
+    }
+
+    #[test]
+    fn degenerate_region_still_works() {
+        // A point-sized cloaked region (no privacy): A_EXT is the disc
+        // bounding box around it.
+        let region = Rect::point(Point::new(0.5, 0.5));
+        let f = filters_same(pt(0, 0.6, 0.5));
+        let ext = extended_area_public(&region, &f);
+        assert!(ext.contains(Point::new(0.5, 0.5)));
+        assert!(approx_eq(ext.max.x - 0.5, 0.1));
+        assert!(approx_eq(0.5 - ext.min.x, 0.1));
+    }
+}

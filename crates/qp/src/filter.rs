@@ -1,0 +1,235 @@
+//! Step 1 of Algorithm 2: selecting the *filter* target objects.
+//!
+//! The paper's evaluation (Section 6.2) compares three variants:
+//!
+//! * **four filters** — the nearest target to each corner of the cloaked
+//!   region (Algorithm 2 as written);
+//! * **two filters** — the nearest targets to two opposite corners;
+//! * **one filter** — the nearest target to the region's centre.
+//!
+//! "Notice that all the theorems and proofs in Section 5 are valid for the
+//! three cases": the extended-area step only requires that *some* filter is
+//! assigned to each corner; fewer filters simply produce looser bounds and
+//! a larger candidate list.
+//!
+//! For private (cloaked) target data the nearest-filter search uses the
+//! pessimistic furthest-corner distance (Section 5.2 Step 1).
+
+use casper_geometry::Rect;
+use casper_index::{DistanceKind, Entry, SpatialIndex};
+
+/// Number of filter objects used in Step 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FilterCount {
+    /// Nearest target to the region centre.
+    One,
+    /// Nearest targets to two opposite corners (bottom-left, top-right).
+    Two,
+    /// Nearest target to each of the four corners.
+    Four,
+}
+
+impl FilterCount {
+    /// All variants, in increasing filter count.
+    pub const ALL: [FilterCount; 3] = [FilterCount::One, FilterCount::Two, FilterCount::Four];
+
+    /// The number of nearest-neighbour searches this variant performs.
+    pub fn searches(self) -> usize {
+        match self {
+            FilterCount::One => 1,
+            FilterCount::Two => 2,
+            FilterCount::Four => 4,
+        }
+    }
+}
+
+/// The filter assignment for the four corners of a cloaked region, in
+/// [`Rect::corners`] order, plus the distinct filter objects themselves.
+#[derive(Debug, Clone)]
+pub struct VertexFilters {
+    /// `per_corner[i]` is the filter object assigned to corner `i`.
+    pub per_corner: [Entry; 4],
+    /// The distinct filter objects (1, 2 or 4 entries).
+    pub distinct: Vec<Entry>,
+}
+
+fn assign<I: SpatialIndex>(
+    index: &I,
+    region: &Rect,
+    count: FilterCount,
+    kind: DistanceKind,
+) -> Option<VertexFilters> {
+    if index.is_empty() {
+        return None;
+    }
+    let corners = region.corners();
+    match count {
+        FilterCount::One => {
+            let f = index.nearest(region.center(), kind)?.entry;
+            Some(VertexFilters {
+                per_corner: [f; 4],
+                distinct: vec![f],
+            })
+        }
+        FilterCount::Two => {
+            // Two reverse corners: bottom-left (0) and top-right (2).
+            let f0 = index.nearest(corners[0], kind)?.entry;
+            let f2 = index.nearest(corners[2], kind)?.entry;
+            // The remaining corners take whichever of the two is nearer
+            // under the same distance semantics.
+            let pick = |i: usize| -> Entry {
+                if kind.measure(corners[i], &f0.mbr) <= kind.measure(corners[i], &f2.mbr) {
+                    f0
+                } else {
+                    f2
+                }
+            };
+            let distinct = if f0.id == f2.id {
+                vec![f0]
+            } else {
+                vec![f0, f2]
+            };
+            Some(VertexFilters {
+                per_corner: [f0, pick(1), f2, pick(3)],
+                distinct,
+            })
+        }
+        FilterCount::Four => {
+            let per_corner = [
+                index.nearest(corners[0], kind)?.entry,
+                index.nearest(corners[1], kind)?.entry,
+                index.nearest(corners[2], kind)?.entry,
+                index.nearest(corners[3], kind)?.entry,
+            ];
+            let mut distinct: Vec<Entry> = Vec::with_capacity(4);
+            for f in per_corner {
+                if !distinct.iter().any(|d| d.id == f.id) {
+                    distinct.push(f);
+                }
+            }
+            Some(VertexFilters {
+                per_corner,
+                distinct,
+            })
+        }
+    }
+}
+
+/// Selects filters for a private query over **public** (exact point) data.
+///
+/// Returns `None` when the index holds no targets.
+pub fn assign_filters_public<I: SpatialIndex>(
+    index: &I,
+    region: &Rect,
+    count: FilterCount,
+) -> Option<VertexFilters> {
+    assign(index, region, count, DistanceKind::Min)
+}
+
+/// Selects filters for a private query over **private** (cloaked
+/// rectangle) data, measuring distance to the furthest corner of each
+/// candidate region (Section 5.2 Step 1).
+pub fn assign_filters_private<I: SpatialIndex>(
+    index: &I,
+    region: &Rect,
+    count: FilterCount,
+) -> Option<VertexFilters> {
+    assign(index, region, count, DistanceKind::Max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casper_geometry::Point;
+    use casper_index::{BruteForce, ObjectId};
+
+    fn pt(id: u64, x: f64, y: f64) -> Entry {
+        Entry::point(ObjectId(id), Point::new(x, y))
+    }
+
+    fn index_with(targets: &[Entry]) -> BruteForce {
+        BruteForce::from_entries(targets.iter().copied())
+    }
+
+    #[test]
+    fn empty_index_yields_none() {
+        let idx = BruteForce::new();
+        let r = Rect::from_coords(0.4, 0.4, 0.6, 0.6);
+        assert!(assign_filters_public(&idx, &r, FilterCount::Four).is_none());
+    }
+
+    #[test]
+    fn four_filters_are_per_corner_nearest() {
+        // One target near each corner of the region.
+        let targets = [
+            pt(0, 0.1, 0.1),
+            pt(1, 0.9, 0.1),
+            pt(2, 0.9, 0.9),
+            pt(3, 0.1, 0.9),
+        ];
+        let idx = index_with(&targets);
+        let r = Rect::from_coords(0.4, 0.4, 0.6, 0.6);
+        let f = assign_filters_public(&idx, &r, FilterCount::Four).unwrap();
+        assert_eq!(f.per_corner[0].id, ObjectId(0));
+        assert_eq!(f.per_corner[1].id, ObjectId(1));
+        assert_eq!(f.per_corner[2].id, ObjectId(2));
+        assert_eq!(f.per_corner[3].id, ObjectId(3));
+        assert_eq!(f.distinct.len(), 4);
+    }
+
+    #[test]
+    fn four_filters_deduplicate_shared_targets() {
+        let targets = [pt(0, 0.5, 0.5)];
+        let idx = index_with(&targets);
+        let r = Rect::from_coords(0.4, 0.4, 0.6, 0.6);
+        let f = assign_filters_public(&idx, &r, FilterCount::Four).unwrap();
+        assert_eq!(f.distinct.len(), 1);
+        assert!(f.per_corner.iter().all(|e| e.id == ObjectId(0)));
+    }
+
+    #[test]
+    fn one_filter_uses_center() {
+        let targets = [pt(0, 0.5, 0.52), pt(1, 0.0, 0.0)];
+        let idx = index_with(&targets);
+        let r = Rect::from_coords(0.4, 0.4, 0.6, 0.6);
+        let f = assign_filters_public(&idx, &r, FilterCount::One).unwrap();
+        assert_eq!(f.distinct.len(), 1);
+        assert_eq!(f.distinct[0].id, ObjectId(0));
+    }
+
+    #[test]
+    fn two_filters_assign_remaining_corners_to_nearer() {
+        let targets = [pt(0, 0.0, 0.0), pt(1, 1.0, 1.0)];
+        let idx = index_with(&targets);
+        let r = Rect::from_coords(0.2, 0.2, 0.8, 0.8);
+        let f = assign_filters_public(&idx, &r, FilterCount::Two).unwrap();
+        assert_eq!(f.per_corner[0].id, ObjectId(0)); // bottom-left
+        assert_eq!(f.per_corner[2].id, ObjectId(1)); // top-right
+                                                     // Symmetric setup: corners 1 and 3 are equidistant; either filter
+                                                     // is a valid assignment.
+        assert_eq!(f.distinct.len(), 2);
+    }
+
+    #[test]
+    fn private_filters_use_furthest_corner_distance() {
+        // Target 0 is a wide region whose far corner is distant; target 1
+        // is a point slightly further by min-dist but closer by max-dist.
+        let targets = [
+            Entry::new(ObjectId(0), Rect::from_coords(0.3, 0.5, 1.0, 0.5)),
+            pt(1, 0.35, 0.5),
+        ];
+        let idx = index_with(&targets);
+        let r = Rect::from_coords(0.0, 0.4, 0.2, 0.6);
+        let f = assign_filters_private(&idx, &r, FilterCount::One).unwrap();
+        assert_eq!(f.distinct[0].id, ObjectId(1));
+        let f_pub = assign_filters_public(&idx, &r, FilterCount::One).unwrap();
+        assert_eq!(f_pub.distinct[0].id, ObjectId(0));
+    }
+
+    #[test]
+    fn searches_counts() {
+        assert_eq!(FilterCount::One.searches(), 1);
+        assert_eq!(FilterCount::Two.searches(), 2);
+        assert_eq!(FilterCount::Four.searches(), 4);
+    }
+}

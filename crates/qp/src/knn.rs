@@ -1,0 +1,302 @@
+//! Private k-nearest-neighbour queries — the generalisation of
+//! Algorithm 2 the paper describes as a straightforward extension
+//! (Section 5: "extensions of the proposed approaches to other
+//! location-based spatio-temporal queries ... are straightforward").
+//!
+//! # Construction
+//!
+//! For each corner `v_i` of the cloaked region we compute a radius `r_i`
+//! such that **at least `k` targets lie within `r_i` of `v_i`**:
+//!
+//! * with four filters, `r_i` is the distance to the k-th nearest target
+//!   of `v_i` itself;
+//! * with one/two filters, `r_i = dist(v_i, a) + r_a` for the best anchor
+//!   `a` (centre, or two opposite corners) — the k targets within `r_a`
+//!   of `a` are within that radius of `v_i` by the triangle inequality.
+//!
+//! Then for any point `p` on the edge `v_i v_j` (length `L`, offset `t`
+//! from `v_i`), at least `k` targets lie within
+//! `f(t) = min(t + r_i, L - t + r_j)`, so `p`'s k-th NN distance is at
+//! most `f(t)`. The edge expansion is `max_t f(t)`:
+//!
+//! * `(L + r_i + r_j) / 2` when the two lines cross inside the edge,
+//! * `L + min(r_i, r_j)` when one endpoint's bound dominates throughout.
+//!
+//! Expanding every side by its bound yields an `A_EXT` whose range query
+//! provably contains the exact k nearest targets of *every* possible user
+//! position in the region (tested by property tests). For `k = 1` this is
+//! slightly looser than Algorithm 2's bisector construction — the
+//! bisector exploits *which* target is the filter, which has no k-NN
+//! analogue — so [`crate::private_nn_public_data`] remains the NN entry
+//! point.
+
+use casper_geometry::{Point, Rect};
+use casper_index::{DistanceKind, SpatialIndex};
+
+use crate::{CandidateList, FilterCount};
+
+/// Radius around `anchor` guaranteed to contain at least `k` targets,
+/// under the given distance semantics; `None` when fewer than `k` targets
+/// exist.
+fn kth_radius<I: SpatialIndex>(
+    index: &I,
+    anchor: Point,
+    k: usize,
+    kind: DistanceKind,
+) -> Option<f64> {
+    let nn = index.k_nearest(anchor, k, kind);
+    if nn.len() < k {
+        return None;
+    }
+    Some(nn.last().expect("k >= 1").dist)
+}
+
+/// Per-corner radii `r_i` such that ≥ k targets lie within `r_i` of
+/// corner `i`.
+fn corner_radii<I: SpatialIndex>(
+    index: &I,
+    region: &Rect,
+    k: usize,
+    filters: FilterCount,
+    kind: DistanceKind,
+) -> Option<[f64; 4]> {
+    let corners = region.corners();
+    match filters {
+        FilterCount::Four => {
+            let mut r = [0.0; 4];
+            for (i, c) in corners.iter().enumerate() {
+                r[i] = kth_radius(index, *c, k, kind)?;
+            }
+            Some(r)
+        }
+        FilterCount::Two => {
+            let anchors = [corners[0], corners[2]];
+            let radii = [
+                kth_radius(index, anchors[0], k, kind)?,
+                kth_radius(index, anchors[1], k, kind)?,
+            ];
+            let mut r = [0.0; 4];
+            for (i, c) in corners.iter().enumerate() {
+                r[i] = (0..2)
+                    .map(|a| c.dist(anchors[a]) + radii[a])
+                    .fold(f64::INFINITY, f64::min);
+            }
+            Some(r)
+        }
+        FilterCount::One => {
+            let center = region.center();
+            let rc = kth_radius(index, center, k, kind)?;
+            let mut r = [0.0; 4];
+            for (i, c) in corners.iter().enumerate() {
+                r[i] = c.dist(center) + rc;
+            }
+            Some(r)
+        }
+    }
+}
+
+/// `max_t min(t + r_i, L - t + r_j)` over `t in [0, L]`.
+fn edge_bound(len: f64, r_i: f64, r_j: f64) -> f64 {
+    let crossing = (len + r_j - r_i) / 2.0;
+    if crossing <= 0.0 {
+        // r_i dominates: the j-line is below everywhere; max at t = 0.
+        len + r_j.min(r_i)
+    } else if crossing >= len {
+        len + r_i.min(r_j)
+    } else {
+        (len + r_i + r_j) / 2.0
+    }
+}
+
+fn extended_area_knn(region: &Rect, radii: &[f64; 4]) -> Rect {
+    let mut a_ext = *region;
+    for (idx, (side, edge)) in region.edges().iter().enumerate() {
+        let (i, j) = (idx, (idx + 1) % 4);
+        let bound = edge_bound(edge.length(), radii[i], radii[j]);
+        a_ext = a_ext.expand_side(*side, bound);
+    }
+    a_ext
+}
+
+/// A private k-NN query over **public** (exact point) target data.
+///
+/// The candidate list contains the exact `k` nearest targets of every
+/// possible user position inside `region`; the client refines locally.
+/// When fewer than `k` targets exist, all of them are returned.
+pub fn private_knn_public_data<I: SpatialIndex>(
+    index: &I,
+    region: &Rect,
+    k: usize,
+    filters: FilterCount,
+) -> CandidateList {
+    let k = k.max(1);
+    let Some(radii) = corner_radii(index, region, k, filters, DistanceKind::Min) else {
+        // Fewer than k targets in total: everything is a candidate.
+        let all = index.range(&Rect::from_coords(
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::INFINITY,
+        ));
+        return CandidateList {
+            candidates: all,
+            a_ext: *region,
+            filters: Vec::new(),
+        };
+    };
+    let a_ext = extended_area_knn(region, &radii);
+    CandidateList {
+        candidates: index.range(&a_ext),
+        a_ext,
+        filters: Vec::new(),
+    }
+}
+
+/// A private k-NN query over **private** (cloaked rectangle) target
+/// data: radii use the pessimistic furthest-corner distance, candidates
+/// are the regions overlapping `A_EXT`.
+pub fn private_knn_private_data<I: SpatialIndex>(
+    index: &I,
+    region: &Rect,
+    k: usize,
+    filters: FilterCount,
+) -> CandidateList {
+    let k = k.max(1);
+    let Some(radii) = corner_radii(index, region, k, filters, DistanceKind::Max) else {
+        let all = index.range(&Rect::from_coords(
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::INFINITY,
+        ));
+        return CandidateList {
+            candidates: all,
+            a_ext: *region,
+            filters: Vec::new(),
+        };
+    };
+    let a_ext = extended_area_knn(region, &radii);
+    CandidateList {
+        candidates: index.range(&a_ext),
+        a_ext,
+        filters: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casper_index::{BruteForce, Entry, ObjectId};
+
+    fn pt(id: u64, x: f64, y: f64) -> Entry {
+        Entry::point(ObjectId(id), Point::new(x, y))
+    }
+
+    fn grid_index(n_per_axis: u64) -> BruteForce {
+        let step = 1.0 / n_per_axis as f64;
+        BruteForce::from_entries((0..n_per_axis * n_per_axis).map(|i| {
+            pt(
+                i,
+                (i % n_per_axis) as f64 * step + step / 2.0,
+                (i / n_per_axis) as f64 * step + step / 2.0,
+            )
+        }))
+    }
+
+    #[test]
+    fn edge_bound_crossing_inside() {
+        // Symmetric radii: crossing at the middle.
+        assert!((edge_bound(1.0, 0.2, 0.2) - 0.7).abs() < 1e-12);
+        // Asymmetric but still crossing inside.
+        assert!((edge_bound(1.0, 0.1, 0.5) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_bound_dominated_ends() {
+        // r_i huge: the j bound rules the whole edge; max at t = 0.
+        assert!((edge_bound(1.0, 9.0, 0.3) - 1.3).abs() < 1e-12);
+        // r_j huge symmetric case.
+        assert!((edge_bound(1.0, 0.3, 9.0) - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_bound_dominates_pointwise_min() {
+        // The returned bound is an upper bound of f(t) everywhere.
+        for (l, ri, rj) in [(1.0, 0.2, 0.7), (0.3, 1.0, 0.1), (2.0, 0.0, 0.0)] {
+            let b = edge_bound(l, ri, rj);
+            for step in 0..=100 {
+                let t = l * step as f64 / 100.0;
+                let f = (t + ri).min(l - t + rj);
+                assert!(f <= b + 1e-12, "f({t})={f} > bound {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_candidates_contain_all_k_nearest() {
+        let idx = grid_index(20); // 400 targets
+        let region = Rect::from_coords(0.42, 0.38, 0.58, 0.55);
+        for k in [1usize, 3, 10] {
+            for fc in FilterCount::ALL {
+                let list = private_knn_public_data(&idx, &region, k, fc);
+                // For several user positions, the k nearest must be in
+                // the candidate list.
+                for (ux, uy) in [(0.42, 0.38), (0.58, 0.55), (0.5, 0.47), (0.42, 0.55)] {
+                    let user = Point::new(ux, uy);
+                    let knn = idx.k_nearest(user, k, DistanceKind::Min);
+                    for nb in &knn {
+                        assert!(
+                            list.candidates.iter().any(|c| c.id == nb.entry.id),
+                            "k={k} {fc:?}: {} missing for user {user:?}",
+                            nb.entry.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_population_returns_everything() {
+        let idx = grid_index(3); // 9 targets
+        let region = Rect::from_coords(0.4, 0.4, 0.6, 0.6);
+        let list = private_knn_public_data(&idx, &region, 50, FilterCount::Four);
+        assert_eq!(list.len(), 9);
+    }
+
+    #[test]
+    fn candidate_count_grows_with_k() {
+        let idx = grid_index(30);
+        let region = Rect::from_coords(0.45, 0.45, 0.55, 0.55);
+        let sizes: Vec<usize> = [1usize, 5, 20]
+            .iter()
+            .map(|&k| private_knn_public_data(&idx, &region, k, FilterCount::Four).len())
+            .collect();
+        assert!(sizes[0] <= sizes[1] && sizes[1] <= sizes[2], "{sizes:?}");
+    }
+
+    #[test]
+    fn four_filters_tightest() {
+        let idx = grid_index(30);
+        let region = Rect::from_coords(0.3, 0.3, 0.5, 0.5);
+        let a1 = private_knn_public_data(&idx, &region, 5, FilterCount::One).a_ext;
+        let a4 = private_knn_public_data(&idx, &region, 5, FilterCount::Four).a_ext;
+        // One-filter radii are anchor-relayed, hence never smaller.
+        assert!(a1.area() >= a4.area() - 1e-12);
+    }
+
+    #[test]
+    fn private_data_knn_includes_enough_regions() {
+        let regions: Vec<Entry> = (0..25)
+            .map(|i| {
+                let x = (i % 5) as f64 / 5.0;
+                let y = (i / 5) as f64 / 5.0;
+                Entry::new(ObjectId(i), Rect::from_coords(x, y, x + 0.1, y + 0.1))
+            })
+            .collect();
+        let idx = BruteForce::from_entries(regions.iter().copied());
+        let query = Rect::from_coords(0.45, 0.45, 0.55, 0.55);
+        let list = private_knn_private_data(&idx, &query, 4, FilterCount::Four);
+        assert!(list.len() >= 4, "must ship at least k candidate regions");
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the density surface: mass conservation and
+//! agreement with the exact range expectation under arbitrary region
+//! populations.
+
+use casper_geometry::{Point, Rect};
+use casper_index::{BruteForce, Entry, ObjectId};
+use casper_qp::{public_range_over_private, DensityGrid};
+use proptest::prelude::*;
+
+fn region() -> impl Strategy<Value = Rect> {
+    (0.0..1.0f64, 0.0..1.0f64, 0.001..0.3f64, 0.001..0.3f64)
+        .prop_map(|(x, y, w, h)| Rect::centered_at(Point::new(x, y), w, h).clamp_to(&Rect::unit()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mass_is_always_conserved(
+        regions in prop::collection::vec(region(), 1..40),
+        resolution in 2usize..24,
+    ) {
+        let idx = BruteForce::from_entries(
+            regions
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| Entry::new(ObjectId(i as u64), r)),
+        );
+        let g = DensityGrid::build(&idx, resolution);
+        prop_assert!(
+            (g.total() - regions.len() as f64).abs() < 1e-6,
+            "total {} != {}",
+            g.total(),
+            regions.len()
+        );
+        // No cell can hold more mass than the population.
+        let (_, peak) = g.hottest();
+        prop_assert!(peak <= regions.len() as f64 + 1e-9);
+        prop_assert!(peak >= 0.0);
+    }
+
+    #[test]
+    fn grid_aligned_queries_match_exact_expectation(
+        regions in prop::collection::vec(region(), 1..25),
+        qx in 0u32..4,
+        qy in 0u32..4,
+    ) {
+        let idx = BruteForce::from_entries(
+            regions
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| Entry::new(ObjectId(i as u64), r)),
+        );
+        // Query = one cell of a 4x4 partition; build the surface at a
+        // resolution that refines it (8x8), so the approximation is exact.
+        let q = Rect::from_coords(
+            qx as f64 * 0.25,
+            qy as f64 * 0.25,
+            (qx + 1) as f64 * 0.25,
+            (qy + 1) as f64 * 0.25,
+        );
+        let g = DensityGrid::build(&idx, 8);
+        let exact = public_range_over_private(&idx, &q).expected_count;
+        prop_assert!(
+            (g.expected_in(&q) - exact).abs() < 1e-6,
+            "surface {} vs exact {exact}",
+            g.expected_in(&q)
+        );
+    }
+
+    #[test]
+    fn count_bounds_sandwich_the_expectation(
+        regions in prop::collection::vec(region(), 1..40),
+        q in region(),
+    ) {
+        let idx = BruteForce::from_entries(
+            regions
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| Entry::new(ObjectId(i as u64), r)),
+        );
+        let ans = public_range_over_private(&idx, &q);
+        prop_assert!(ans.min_count() <= ans.max_count());
+        prop_assert!(ans.expected_count <= ans.max_count() as f64 + 1e-9);
+        prop_assert!(ans.expected_count + 1e-9 >= ans.min_count() as f64);
+    }
+}

@@ -1,0 +1,122 @@
+//! Edge cases of the filter and extended-area steps that the main
+//! property suites rarely generate: bisector-misses-edge configurations
+//! (possible with 1-/2-filter assignments), degenerate regions, and
+//! clustered / collinear target layouts.
+
+use casper_geometry::{Point, Rect};
+use casper_index::{BruteForce, DistanceKind, Entry, ObjectId, SpatialIndex};
+use casper_qp::{private_nn_private_data, private_nn_public_data, FilterCount, PrivateBoundMode};
+
+fn pt(id: u64, x: f64, y: f64) -> Entry {
+    Entry::point(ObjectId(id), Point::new(x, y))
+}
+
+fn check_inclusive(targets: &[Entry], region: Rect, samples: u32) {
+    let idx = BruteForce::from_entries(targets.iter().copied());
+    for fc in FilterCount::ALL {
+        let list = private_nn_public_data(&idx, &region, fc);
+        for sx in 0..samples {
+            for sy in 0..samples {
+                let user = Point::new(
+                    region.min.x + region.width() * sx as f64 / (samples - 1).max(1) as f64,
+                    region.min.y + region.height() * sy as f64 / (samples - 1).max(1) as f64,
+                );
+                let exact = idx.nearest(user, DistanceKind::Min).unwrap().dist;
+                let best = list
+                    .candidates
+                    .iter()
+                    .map(|e| e.mbr.min.dist(user))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
+                    (best - exact).abs() < 1e-9,
+                    "{fc:?}: user {user:?} exact {exact} vs best {best}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn two_filter_bisector_can_miss_an_edge_and_stay_inclusive() {
+    // Both anchor corners' nearest targets sit on the same side, so for
+    // some edges the two assigned filters' bisector misses the edge
+    // entirely — the fallback single-filter bound must keep inclusiveness.
+    let targets = [
+        pt(1, 0.05, 0.50), // far left
+        pt(2, 0.06, 0.52), // also far left, slightly different
+        pt(3, 0.95, 0.95),
+        pt(4, 0.93, 0.05),
+    ];
+    let region = Rect::from_coords(0.45, 0.40, 0.60, 0.60);
+    check_inclusive(&targets, region, 6);
+}
+
+#[test]
+fn all_targets_collinear() {
+    let targets: Vec<Entry> = (0..12)
+        .map(|i| pt(i, 0.05 + i as f64 * 0.08, 0.5))
+        .collect();
+    let region = Rect::from_coords(0.3, 0.1, 0.5, 0.3);
+    check_inclusive(&targets, region, 5);
+}
+
+#[test]
+fn all_targets_at_one_point() {
+    let targets: Vec<Entry> = (0..5).map(|i| pt(i, 0.7, 0.7)).collect();
+    let region = Rect::from_coords(0.2, 0.2, 0.4, 0.4);
+    check_inclusive(&targets, region, 4);
+}
+
+#[test]
+fn target_inside_the_cloaked_region() {
+    let targets = vec![pt(1, 0.5, 0.5), pt(2, 0.9, 0.9), pt(3, 0.1, 0.2)];
+    let region = Rect::from_coords(0.45, 0.45, 0.55, 0.55);
+    check_inclusive(&targets, region, 5);
+}
+
+#[test]
+fn degenerate_line_shaped_region() {
+    // Zero-height cloaked region (e.g. a road segment).
+    let targets: Vec<Entry> = (0..10).map(|i| pt(i, i as f64 / 10.0, 0.8)).collect();
+    let region = Rect::from_coords(0.2, 0.5, 0.7, 0.5);
+    check_inclusive(&targets, region, 8);
+}
+
+#[test]
+fn region_covering_the_whole_space() {
+    let targets: Vec<Entry> = (0..9)
+        .map(|i| pt(i, (i % 3) as f64 / 2.0, (i / 3) as f64 / 2.0))
+        .collect();
+    let region = Rect::unit();
+    let idx = BruteForce::from_entries(targets.iter().copied());
+    let list = private_nn_public_data(&idx, &region, FilterCount::Four);
+    // Everything may be someone's NN here, so all 9 must be candidates.
+    assert_eq!(list.len(), 9);
+}
+
+#[test]
+fn private_data_nested_and_overlapping_regions() {
+    // Target regions that contain each other and the query region.
+    let targets = [
+        Entry::new(ObjectId(1), Rect::from_coords(0.0, 0.0, 1.0, 1.0)), // everything
+        Entry::new(ObjectId(2), Rect::from_coords(0.4, 0.4, 0.6, 0.6)), // around query
+        Entry::new(ObjectId(3), Rect::from_coords(0.49, 0.49, 0.51, 0.51)), // inside query
+    ];
+    let idx = BruteForce::from_entries(targets.iter().copied());
+    let region = Rect::from_coords(0.45, 0.45, 0.55, 0.55);
+    for fc in FilterCount::ALL {
+        let list = private_nn_private_data(&idx, &region, fc, PrivateBoundMode::Safe, 0.0);
+        // All three could be the nearest buddy; none may be pruned.
+        assert_eq!(list.len(), 3, "{fc:?}");
+    }
+}
+
+#[test]
+fn single_target_worlds() {
+    for fc in FilterCount::ALL {
+        let idx = BruteForce::from_entries([pt(1, 0.33, 0.77)]);
+        let region = Rect::from_coords(0.6, 0.1, 0.9, 0.4);
+        let list = private_nn_public_data(&idx, &region, fc);
+        assert_eq!(list.len(), 1, "{fc:?}: the only target is the answer");
+    }
+}

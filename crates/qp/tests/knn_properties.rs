@@ -1,0 +1,119 @@
+//! Property tests for the k-NN extension: the candidate list must contain
+//! the exact k nearest targets of every possible user position in the
+//! cloaked region, for every filter variant and every k.
+
+use casper_geometry::{Point, Rect};
+use casper_index::{BruteForce, DistanceKind, Entry, ObjectId, RTree, SpatialIndex};
+use casper_qp::{private_knn_private_data, private_knn_public_data, FilterCount};
+use proptest::prelude::*;
+
+fn point() -> impl Strategy<Value = Point> {
+    (0.0..1.0f64, 0.0..1.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn region() -> impl Strategy<Value = Rect> {
+    (point(), 0.001..0.3f64, 0.001..0.3f64)
+        .prop_map(|(c, w, h)| Rect::centered_at(c, w, h).clamp_to(&Rect::unit()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn knn_inclusiveness_public(
+        targets in prop::collection::vec(point(), 3..60),
+        reg in region(),
+        k in 1usize..8,
+        (u, v) in (0.0..=1.0f64, 0.0..=1.0f64),
+    ) {
+        let entries: Vec<Entry> = targets
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Entry::point(ObjectId(i as u64), p))
+            .collect();
+        let idx = BruteForce::from_entries(entries.iter().copied());
+        let user = Point::new(
+            reg.min.x + u * reg.width(),
+            reg.min.y + v * reg.height(),
+        );
+        let want = idx.k_nearest(user, k.min(targets.len()), DistanceKind::Min);
+        for fc in FilterCount::ALL {
+            let list = private_knn_public_data(&idx, &reg, k, fc);
+            // Compare by distance: the k-th candidate distance must equal
+            // the true k-th distance (handles ties robustly).
+            let mut cand: Vec<f64> = list
+                .candidates
+                .iter()
+                .map(|e| e.mbr.min.dist(user))
+                .collect();
+            cand.sort_by(f64::total_cmp);
+            prop_assert!(cand.len() >= want.len(), "{fc:?}: list too small");
+            for (i, w) in want.iter().enumerate() {
+                prop_assert!(
+                    (cand[i] - w.dist).abs() < 1e-9,
+                    "{fc:?}: rank {i} distance {} != true {}",
+                    cand[i],
+                    w.dist
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knn_agrees_across_indexes(
+        targets in prop::collection::vec(point(), 10..50),
+        reg in region(),
+        k in 1usize..5,
+    ) {
+        let entries: Vec<Entry> = targets
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Entry::point(ObjectId(i as u64), p))
+            .collect();
+        let brute = BruteForce::from_entries(entries.iter().copied());
+        let rtree = RTree::bulk_load(entries.iter().copied());
+        let ids = |l: &casper_qp::CandidateList| {
+            let mut v: Vec<u64> = l.candidates.iter().map(|e| e.id.0).collect();
+            v.sort_unstable();
+            v
+        };
+        let a = ids(&private_knn_public_data(&brute, &reg, k, FilterCount::Four));
+        let b = ids(&private_knn_public_data(&rtree, &reg, k, FilterCount::Four));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn knn_private_data_covers_true_knn(
+        seeds in prop::collection::vec((point(), 0.0..0.12f64, 0.0..0.12f64, 0.0..=1.0f64, 0.0..=1.0f64), 4..25),
+        reg in region(),
+        k in 1usize..4,
+        (u, v) in (0.0..=1.0f64, 0.0..=1.0f64),
+    ) {
+        let mut entries = Vec::new();
+        let mut true_pos = Vec::new();
+        for (i, &(c, w, h, tu, tv)) in seeds.iter().enumerate() {
+            let r = Rect::centered_at(c, w, h).clamp_to(&Rect::unit());
+            entries.push(Entry::new(ObjectId(i as u64), r));
+            true_pos.push(Point::new(
+                r.min.x + tu * r.width(),
+                r.min.y + tv * r.height(),
+            ));
+        }
+        let idx = BruteForce::from_entries(entries.iter().copied());
+        let user = Point::new(
+            reg.min.x + u * reg.width(),
+            reg.min.y + v * reg.height(),
+        );
+        // True k nearest by hidden exact positions.
+        let mut order: Vec<usize> = (0..true_pos.len()).collect();
+        order.sort_by(|&a, &b| true_pos[a].dist(user).total_cmp(&true_pos[b].dist(user)));
+        let list = private_knn_private_data(&idx, &reg, k, FilterCount::Four);
+        for &true_idx in order.iter().take(k.min(true_pos.len())) {
+            prop_assert!(
+                list.candidates.iter().any(|e| e.id.0 == true_idx as u64),
+                "target {true_idx} (rank <= {k}) missing from {} candidates",
+                list.len()
+            );
+        }
+    }
+}

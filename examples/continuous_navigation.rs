@@ -1,0 +1,68 @@
+//! Continuous nearest-neighbour monitoring while driving: "keep showing me
+//! my nearest gas station" — without ever revealing where the car is.
+//!
+//! ```text
+//! cargo run --release --example continuous_navigation
+//! ```
+//!
+//! The car follows road-network shortest paths; the continuous query
+//! re-contacts the server only when the car's *cloaked region* changes
+//! (i.e. it crosses a pyramid cell), and reuses the candidate list in
+//! between. The example reports the saving and verifies every answer
+//! against a fresh snapshot query.
+
+use casper::mobility::uniform_targets;
+use casper::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let network = NetworkBuilder::new().build(&mut rng);
+    let mut generator = MovingObjectGenerator::new(network, 200, &mut rng);
+
+    let mut casper = Casper::new(AdaptiveAnonymizer::adaptive(9));
+    casper.load_targets(
+        uniform_targets(1_000, &mut rng)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (ObjectId(i as u64), p)),
+    );
+    for i in 0..200 {
+        casper.register_user(
+            UserId(i as u64),
+            Profile::new(5, 0.0),
+            generator.object(i).position(),
+        );
+    }
+
+    // Car 0 navigates with a continuous query.
+    let car = UserId(0);
+    let mut monitor = casper.continuous_nn(car);
+    let mut answer_changes = 0usize;
+    let mut last_answer: Option<ObjectId> = None;
+
+    const TICKS: usize = 200;
+    for _ in 0..TICKS {
+        for (i, pos) in generator.tick(0.2, &mut rng) {
+            casper.move_user(UserId(i as u64), pos);
+        }
+        let current = casper.refresh_continuous(&mut monitor).expect("registered");
+        // Cross-check against a fresh snapshot query.
+        let fresh = casper.query_nn(car).unwrap().exact.unwrap();
+        assert_eq!(current.id, fresh.id, "continuous answer must stay exact");
+        if last_answer != Some(current.id) {
+            answer_changes += 1;
+            last_answer = Some(current.id);
+        }
+    }
+
+    println!("=== continuous navigation, {TICKS} ticks ===");
+    println!("server round trips   : {}", monitor.reevaluations);
+    println!("cached refreshes     : {}", monitor.reuses);
+    println!(
+        "round trips saved    : {:.1}%",
+        100.0 * monitor.reuse_ratio()
+    );
+    println!("nearest-station flips: {answer_changes}");
+    println!("(every refresh verified against a fresh snapshot query)");
+}

@@ -1,0 +1,159 @@
+//! The whole system in one run: a simulated city day.
+//!
+//! ```text
+//! cargo run --release --example full_city_simulation
+//! ```
+//!
+//! * 8 000 residents move along a synthetic road network, streaming
+//!   location updates through the adaptive anonymizer;
+//! * the server holds categorised public data (gas stations, hospitals,
+//!   restaurants) and the residents' cloaked regions;
+//! * residents fire category-scoped nearest-neighbour queries through the
+//!   self-tuning filter policy; commuters run continuous queries;
+//! * the city's traffic office polls district counts and a density map;
+//! * at the end the server state is snapshotted, restored, and verified.
+
+use casper::core::{snapshot, Category, FilterPolicy};
+use casper::mobility::uniform_targets;
+use casper::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::Instant;
+
+const RESIDENTS: usize = 8_000;
+const TICKS: usize = 20;
+
+fn main() {
+    let started = Instant::now();
+    let mut rng = StdRng::seed_from_u64(20060912); // the paper's VLDB date
+    let network = NetworkBuilder::new().build(&mut rng);
+    let mut generator = MovingObjectGenerator::new(network, RESIDENTS, &mut rng);
+
+    let mut casper = Casper::new(AdaptiveAnonymizer::adaptive(9));
+
+    // Categorised public data.
+    let categories = [
+        (Category(1), "gas stations", 800),
+        (Category(2), "hospitals", 60),
+        (Category(3), "restaurants", 2_400),
+    ];
+    let mut next_id = 0u64;
+    for &(cat, _, n) in &categories {
+        for p in uniform_targets(n, &mut rng) {
+            // Registered directly at the server — public data bypasses
+            // the anonymizer (Figure 1).
+            casper_server_upsert(&mut casper, ObjectId(next_id), p, cat);
+            next_id += 1;
+        }
+    }
+
+    // Residents register with heterogeneous privacy preferences.
+    for i in 0..RESIDENTS {
+        let profile = match i % 10 {
+            0..=5 => Profile::new(rng.gen_range(2..=20), 0.0), // casual
+            6..=8 => Profile::new(rng.gen_range(20..=80), 5e-5), // cautious
+            _ => Profile::new(rng.gen_range(80..=200), 5e-4),  // paranoid
+        };
+        casper.register_user(UserId(i as u64), profile, generator.object(i).position());
+    }
+
+    let mut policy = FilterPolicy::new(TransmissionModel::default());
+    let mut commuter = casper.continuous_nn(UserId(1));
+    let district = Rect::from_coords(0.3, 0.3, 0.6, 0.6);
+    let mut queries = 0usize;
+    let mut wrong = 0usize;
+
+    for tick in 0..TICKS {
+        // Everyone drives; the anonymizer re-cloaks movers.
+        for (i, pos) in generator.tick(1.0, &mut rng) {
+            casper.move_user(UserId(i as u64), pos);
+        }
+        // A wave of private category queries through the tuned policy.
+        for _ in 0..50 {
+            let uid = UserId(rng.gen_range(0..RESIDENTS as u64));
+            let cat = categories[rng.gen_range(0..categories.len())].0;
+            let fc = policy.choose();
+            let query = match casper_query_category(&mut casper, uid, cat, fc) {
+                Some(q) => q,
+                None => continue,
+            };
+            policy.record(fc, query.0, query.1);
+            queries += 1;
+            if !query.2 {
+                wrong += 1;
+            }
+        }
+        // The commuter's continuous query stays fresh.
+        casper.refresh_continuous(&mut commuter).unwrap();
+        // Traffic office: anonymous district analytics.
+        if tick % 5 == 4 {
+            let count = casper.admin_count(&district);
+            let density = casper.server().density(8);
+            println!(
+                "tick {tick:>2}: district expects {:7.1} cars in [{}..{}]; hottest 1/64 cell ≈ {:.0}",
+                count.expected_count,
+                count.min_count(),
+                count.max_count(),
+                density.hottest().1
+            );
+        }
+    }
+
+    println!("\nprivate category queries : {queries} ({wrong} wrong — must be 0)");
+    assert_eq!(wrong, 0, "every refined answer must be exact");
+    println!(
+        "continuous query reuse   : {:.0}% of {} refreshes",
+        100.0 * commuter.reuse_ratio(),
+        commuter.reevaluations + commuter.reuses
+    );
+
+    // Snapshot / restore round trip.
+    let image = snapshot::save(casper.server());
+    let restored = snapshot::load(image.clone()).expect("snapshot must load");
+    assert_eq!(restored.public_count(), casper.server().public_count());
+    assert_eq!(restored.private_count(), casper.server().private_count());
+    println!(
+        "server snapshot          : {} KiB, restored and verified",
+        image.len() / 1024
+    );
+    println!(
+        "simulated {TICKS} ticks with {RESIDENTS} residents in {:?}",
+        started.elapsed()
+    );
+}
+
+/// Registers a categorised target (helper keeping main readable).
+fn casper_server_upsert(
+    casper: &mut Casper<AdaptivePyramid>,
+    id: ObjectId,
+    pos: Point,
+    cat: Category,
+) {
+    casper.server_mut().upsert_public_target_in(id, pos, cat);
+}
+
+/// One category-scoped private query: returns (candidates, query time,
+/// answer verified exact).
+fn casper_query_category(
+    casper: &mut Casper<AdaptivePyramid>,
+    uid: UserId,
+    cat: Category,
+    fc: FilterCount,
+) -> Option<(usize, std::time::Duration, bool)> {
+    let query = casper.anonymizer_mut().cloak_query(uid)?;
+    let (list, stats) = casper.server().nn_public_in(&query.region, fc, cat);
+    let pos = casper.anonymizer().pyramid().position_of(uid)?;
+    let refined = CasperClient::new().refine_nn(pos, &list)?;
+    // Oracle check against the category's full contents.
+    let exact_ok = {
+        let all = casper
+            .server()
+            .nn_public_in(&Rect::unit(), FilterCount::One, cat)
+            .0;
+        let best = all
+            .candidates
+            .iter()
+            .min_by(|a, b| a.mbr.min.dist(pos).total_cmp(&b.mbr.min.dist(pos)))?;
+        (best.mbr.min.dist(pos) - refined.mbr.min.dist(pos)).abs() < 1e-9
+    };
+    Some((list.len(), stats.processing, exact_ok))
+}

@@ -1,0 +1,79 @@
+//! High-rate location-update ingestion with the streaming anonymizer.
+//!
+//! ```text
+//! cargo run --release --example streaming_updates
+//! ```
+//!
+//! Four producer threads fire location updates (as a cellular backbone
+//! would) while the main thread keeps serving cloaked queries — the
+//! paper's efficiency requirement ("cope with the continuous movement of
+//! large numbers of mobile users") exercised concurrently.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use casper::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const USERS: usize = 20_000;
+const UPDATES_PER_PRODUCER: usize = 50_000;
+const PRODUCERS: usize = 4;
+
+fn main() {
+    let streaming = Arc::new(StreamingAnonymizer::spawn(
+        AdaptiveAnonymizer::adaptive(9),
+        4096,
+    ));
+
+    // Register the population.
+    let mut rng = StdRng::seed_from_u64(3);
+    for i in 0..USERS {
+        streaming.register(
+            UserId(i as u64),
+            Profile::new(rng.gen_range(1..=50), 0.0),
+            Point::new(rng.gen(), rng.gen()),
+        );
+    }
+    streaming.flush();
+
+    let start = Instant::now();
+    let mut producers = Vec::new();
+    for p in 0..PRODUCERS {
+        let s = Arc::clone(&streaming);
+        producers.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(100 + p as u64);
+            for _ in 0..UPDATES_PER_PRODUCER {
+                let uid = UserId(rng.gen_range(0..USERS as u64));
+                s.update_location(uid, Point::new(rng.gen(), rng.gen()));
+            }
+        }));
+    }
+
+    // Meanwhile: serve cloaked queries from the main thread.
+    let mut queries = 0usize;
+    let mut rng = StdRng::seed_from_u64(500);
+    while producers.iter().any(|p| !p.is_finished()) {
+        let uid = UserId(rng.gen_range(0..USERS as u64));
+        if streaming.write(|a| a.cloak_query(uid)).is_some() {
+            queries += 1;
+        }
+    }
+    for p in producers {
+        p.join().unwrap();
+    }
+    streaming.flush();
+
+    let elapsed = start.elapsed();
+    let total_updates = PRODUCERS * UPDATES_PER_PRODUCER;
+    println!("=== streaming ingestion ===");
+    println!("location updates applied : {total_updates}");
+    println!("cloaked queries served   : {queries} (concurrently)");
+    println!(
+        "throughput               : {:.0} updates/s over {elapsed:?}",
+        total_updates as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "registered users intact  : {}",
+        streaming.read(|a| a.user_count())
+    );
+}

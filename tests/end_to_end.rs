@@ -1,0 +1,183 @@
+//! Cross-crate integration tests: the full Casper pipeline driven by the
+//! mobility generator, exercising every query type of Section 5.
+
+use casper::mobility::uniform_targets;
+use casper::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn build_city(
+    users: usize,
+    targets: usize,
+    seed: u64,
+) -> (
+    Casper<AdaptivePyramid>,
+    MovingObjectGenerator,
+    Vec<Point>,
+    StdRng,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let network = NetworkBuilder::new().build(&mut rng);
+    let generator = MovingObjectGenerator::new(network, users, &mut rng);
+    let mut casper = Casper::new(AdaptiveAnonymizer::adaptive(9));
+    let target_points = uniform_targets(targets, &mut rng);
+    casper.load_targets(
+        target_points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (ObjectId(i as u64), p)),
+    );
+    for i in 0..users {
+        casper.register_user(
+            UserId(i as u64),
+            Profile::new(rng.gen_range(1..=50), 0.0),
+            generator.object(i).position(),
+        );
+    }
+    (casper, generator, target_points, rng)
+}
+
+#[test]
+fn private_nn_over_public_data_is_always_exact_after_refinement() {
+    let (mut casper, generator, targets, _) = build_city(500, 1_000, 1);
+    for i in 0..100 {
+        let uid = UserId(i as u64);
+        let answer = casper.query_nn(uid).unwrap();
+        let pos = generator.object(i).position();
+        let refined = answer.exact.unwrap();
+        let true_best = targets
+            .iter()
+            .map(|t| t.dist(pos))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            (refined.mbr.min.dist(pos) - true_best).abs() < 1e-9,
+            "user {i}: refinement missed the true nearest target"
+        );
+    }
+}
+
+#[test]
+fn continuous_movement_keeps_all_guarantees() {
+    let (mut casper, mut generator, _, mut rng) = build_city(300, 500, 2);
+    for _tick in 0..5 {
+        for (i, pos) in generator.tick(1.0, &mut rng) {
+            casper.move_user(UserId(i as u64), pos);
+        }
+        // Sample queries after every tick; k-anonymity must hold.
+        for i in (0..300).step_by(37) {
+            let uid = UserId(i as u64);
+            let region = casper.anonymizer().cloak_region_of(uid).unwrap();
+            let profile = casper.anonymizer().pyramid().profile_of(uid).unwrap();
+            assert!(
+                region.user_count >= profile.k,
+                "tick {_tick}, user {i}: k-anonymity broken ({} < {})",
+                region.user_count,
+                profile.k
+            );
+            let pos = casper.anonymizer().pyramid().position_of(uid).unwrap();
+            assert!(region.rect.contains(pos));
+        }
+        // Server snapshot stays consistent with the population size.
+        assert_eq!(casper.server().private_count(), 300);
+    }
+}
+
+#[test]
+fn admin_counts_bound_the_truth_under_movement() {
+    let (mut casper, mut generator, _, mut rng) = build_city(400, 10, 3);
+    let district = Rect::from_coords(0.2, 0.2, 0.6, 0.6);
+    for _ in 0..4 {
+        let updates = generator.tick(1.0, &mut rng);
+        let mut truth = 0usize;
+        for (i, pos) in updates {
+            casper.move_user(UserId(i as u64), pos);
+            if district.contains(pos) {
+                truth += 1;
+            }
+        }
+        let ans = casper.admin_count(&district);
+        assert!(ans.min_count() <= truth, "{} > {truth}", ans.min_count());
+        assert!(ans.max_count() >= truth, "{} < {truth}", ans.max_count());
+        assert!(ans.expected_count <= ans.max_count() as f64 + 1e-9);
+        assert!(ans.expected_count + 1e-9 >= ans.min_count() as f64);
+    }
+}
+
+#[test]
+fn buddy_queries_return_plausible_buddies() {
+    let (mut casper, generator, _, _) = build_city(200, 10, 4);
+    for i in 0..50 {
+        let uid = UserId(i as u64);
+        let answer = casper.query_nn_private(uid).unwrap();
+        let buddy = answer.exact.expect("199 other users exist");
+        assert_ne!(buddy.id.0, i as u64, "own region must never be suggested");
+        // The suggested buddy's region is a real user's current region.
+        let pos = generator.object(buddy.id.0 as usize).position();
+        let moved = casper
+            .anonymizer()
+            .pyramid()
+            .position_of(UserId(buddy.id.0))
+            .unwrap();
+        // (positions unchanged since registration in this test)
+        assert_eq!(pos, moved);
+    }
+}
+
+#[test]
+fn profile_changes_apply_end_to_end() {
+    let (mut casper, _, _, _) = build_city(300, 500, 5);
+    let uid = UserId(7);
+    let before = casper.query_nn(uid).unwrap().candidates;
+    casper.change_profile(uid, Profile::new(200, 0.05));
+    let after = casper.query_nn(uid).unwrap().candidates;
+    assert!(
+        after >= before,
+        "stricter profile must not shrink the candidate list ({before} -> {after})"
+    );
+    let region = casper.anonymizer().cloak_region_of(uid).unwrap();
+    assert!(region.user_count >= 200);
+    assert!(region.area() >= 0.05 - 1e-12);
+}
+
+#[test]
+fn sign_off_removes_every_trace() {
+    let (mut casper, _, _, _) = build_city(50, 100, 6);
+    assert_eq!(casper.server().private_count(), 50);
+    for i in 0..50 {
+        casper.sign_off(UserId(i));
+    }
+    assert_eq!(casper.server().private_count(), 0);
+    assert_eq!(casper.anonymizer().user_count(), 0);
+    assert!(casper.query_nn(UserId(0)).is_none());
+}
+
+#[test]
+fn filter_variants_agree_on_refined_answers() {
+    let (_, generator, targets, _) = build_city(100, 800, 7);
+    let mut anonymizer = AdaptiveAnonymizer::adaptive(9);
+    for i in 0..100 {
+        anonymizer.register(
+            UserId(i as u64),
+            Profile::new(10, 0.0),
+            generator.object(i).position(),
+        );
+    }
+    let index = RTree::bulk_load(
+        targets
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Entry::point(ObjectId(i as u64), p)),
+    );
+    let client = CasperClient::new();
+    for i in 0..100 {
+        let uid = UserId(i as u64);
+        let query = anonymizer.cloak_query(uid).unwrap();
+        let pos = generator.object(i).position();
+        let mut answers = Vec::new();
+        for fc in FilterCount::ALL {
+            let list = private_nn_public_data(&index, &query.region, fc);
+            answers.push(client.refine_nn(pos, &list).unwrap().id);
+        }
+        assert_eq!(answers[0], answers[1], "user {i}");
+        assert_eq!(answers[1], answers[2], "user {i}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Privacy-property tests: what the untrusted server can and cannot learn.
+//!
+//! The paper's four anonymizer requirements (Section 4) translate into
+//! testable statements:
+//!
+//! * **accuracy** — `k' >= k` and `A' >= A_min` whenever feasible;
+//! * **quality** — the cloaked region is a pure function of (cell,
+//!   profile): two users in the same cell with the same profile are
+//!   indistinguishable, and the region never depends on the position
+//!   *within* the cell (no reverse engineering);
+//! * **pseudonymity** — pseudonyms are single-use and unlinkable;
+//! * **flexibility** — profiles change at runtime and take effect
+//!   immediately.
+
+use casper::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn populated(seed: u64, n: u64) -> BasicAnonymizer {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a = BasicAnonymizer::basic(8);
+    for i in 0..n {
+        a.register(
+            UserId(i),
+            Profile::new(rng.gen_range(1..=50), 0.0),
+            Point::new(rng.gen(), rng.gen()),
+        );
+    }
+    a
+}
+
+#[test]
+fn accuracy_k_and_area_floor_hold() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut a = BasicAnonymizer::basic(8);
+    for i in 0..500 {
+        a.register(
+            UserId(i),
+            Profile::new(rng.gen_range(1..=100), rng.gen_range(0.0..0.01)),
+            Point::new(rng.gen(), rng.gen()),
+        );
+    }
+    for i in 0..500 {
+        let uid = UserId(i);
+        let region = a.cloak_region_of(uid).unwrap();
+        let profile = a.pyramid().profile_of(uid).unwrap();
+        assert!(region.user_count >= profile.k, "user {i}");
+        assert!(region.area() >= profile.a_min - 1e-12, "user {i}");
+    }
+}
+
+#[test]
+fn quality_region_is_independent_of_position_within_cell() {
+    // Two users in the same lowest-level cell with identical profiles
+    // receive identical regions, whatever their exact offsets: an
+    // adversary seeing the region learns nothing beyond the cell.
+    let mut a = BasicAnonymizer::basic(6); // cells are 1/32 wide
+    let profile = Profile::new(2, 0.0);
+    // Same lowest-level cell (cell width = 1/32 ≈ 0.031).
+    a.register(UserId(1), profile, Point::new(0.4002, 0.4002));
+    a.register(UserId(2), profile, Point::new(0.4060, 0.4055));
+    let r1 = a.cloak_region_of(UserId(1)).unwrap();
+    let r2 = a.cloak_region_of(UserId(2)).unwrap();
+    assert_eq!(r1.rect, r2.rect);
+    assert_eq!(r1.user_count, r2.user_count);
+}
+
+#[test]
+fn quality_region_boundaries_are_grid_aligned() {
+    // Every cloaked region is composed of pre-defined pyramid cells, so
+    // its corners lie on the grid of some level — never on data-dependent
+    // coordinates (the CliqueCloak leak Casper avoids).
+    let a = populated(2, 300);
+    for i in 0..300 {
+        let region = a.cloak_region_of(UserId(i)).unwrap();
+        let level = region.level;
+        let n = (1u64 << level) as f64;
+        for v in [
+            region.rect.min.x,
+            region.rect.min.y,
+            region.rect.max.x,
+            region.rect.max.y,
+        ] {
+            let scaled = v * n;
+            assert!(
+                (scaled - scaled.round()).abs() < 1e-9,
+                "user {i}: boundary {v} not aligned to level {level}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cliquecloak_leaks_what_casper_does_not() {
+    // Contrast test: the baseline's MBR boundary passes through exact
+    // user positions; Casper's regions never do (except with probability
+    // 0 — grid lines are position-independent).
+    use casper::baselines::{CliqueCloak, CloakRequest};
+    let mut cc = CliqueCloak::new();
+    let p1 = Point::new(0.412_345, 0.467_89);
+    let p2 = Point::new(0.444_444, 0.490_12);
+    cc.submit(CloakRequest {
+        uid: 1,
+        pos: p1,
+        k: 2,
+        tolerance: 0.2,
+    });
+    let group = cc
+        .submit(CloakRequest {
+            uid: 2,
+            pos: p2,
+            k: 2,
+            tolerance: 0.2,
+        })
+        .unwrap();
+    // The baseline's region boundary reveals both exact positions.
+    assert_eq!(group.region.min, Point::new(p1.x.min(p2.x), p1.y.min(p2.y)));
+    // Casper's region for the same user is grid-aligned and strictly
+    // larger than a point.
+    let mut a = BasicAnonymizer::basic(8);
+    a.register(UserId(1), Profile::new(1, 0.0), p1);
+    let region = a.cloak_region_of(UserId(1)).unwrap().rect;
+    assert!(region.contains(p1));
+    assert!(region.min != p1 && region.max != p1);
+}
+
+#[test]
+fn pseudonyms_are_single_use_and_sequential_queries_unlinkable() {
+    let mut a = populated(3, 100);
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..10 {
+        let q = a.cloak_query(UserId(5)).unwrap();
+        assert!(seen.insert(q.pseudonym), "pseudonym reuse detected");
+    }
+    // Each resolves exactly once.
+    let q = a.cloak_query(UserId(5)).unwrap();
+    assert_eq!(a.resolve(q.pseudonym), Some(UserId(5)));
+    assert_eq!(a.resolve(q.pseudonym), None);
+}
+
+#[test]
+fn flexibility_profile_changes_take_effect_immediately() {
+    let mut a = populated(4, 1_000);
+    let before = a.cloak_region_of(UserId(0)).unwrap();
+    a.update_profile(UserId(0), Profile::new(500, 0.0));
+    let after = a.cloak_region_of(UserId(0)).unwrap();
+    assert!(after.user_count >= 500);
+    assert!(after.area() >= before.area());
+    // And back.
+    a.update_profile(UserId(0), Profile::new(1, 0.0));
+    let relaxed = a.cloak_region_of(UserId(0)).unwrap();
+    assert!(relaxed.area() <= after.area());
+}
+
+#[test]
+fn server_side_regions_never_degenerate_to_points() {
+    // Even a k = 1 user's stored region is a full grid cell: the exact
+    // point never reaches the server.
+    let mut casper = Casper::new(BasicAnonymizer::basic(9));
+    casper.register_user(
+        UserId(1),
+        Profile::new(1, 0.0),
+        Point::new(0.123_456, 0.654_321),
+    );
+    let stored = casper.admin_count(&Rect::unit());
+    assert_eq!(stored.max_count(), 1);
+    let region = stored.overlapping[0].mbr;
+    assert!(region.area() >= 1.0 / 4f64.powi(8) - 1e-15);
+    assert!(region.contains(Point::new(0.123_456, 0.654_321)));
+}
+
+#[test]
+fn adaptive_structure_gives_the_same_guarantees() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut a = AdaptiveAnonymizer::adaptive(8);
+    for i in 0..400 {
+        a.register(
+            UserId(i),
+            Profile::new(rng.gen_range(1..=60), rng.gen_range(0.0..0.005)),
+            Point::new(rng.gen(), rng.gen()),
+        );
+    }
+    for i in 0..400 {
+        let region = a.cloak_region_of(UserId(i)).unwrap();
+        let profile = a.pyramid().profile_of(UserId(i)).unwrap();
+        assert!(region.user_count >= profile.k);
+        assert!(region.area() >= profile.a_min - 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration test: the sharded anonymizer behind a mobility-driven
+//! workload keeps the single-node guarantees while distributing users
+//! across shard pyramids.
+
+use casper::core::ShardedAnonymizer;
+use casper::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+#[test]
+fn sharded_city_keeps_all_guarantees_under_movement() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let network = NetworkBuilder::new().build(&mut rng);
+    let mut generator = MovingObjectGenerator::new(network, 600, &mut rng);
+
+    let mut sharded = ShardedAnonymizer::new(9, 2); // 16 shards
+    let mut profiles = Vec::new();
+    for i in 0..600 {
+        let profile = Profile::new(rng.gen_range(1..=30), 0.0);
+        profiles.push(profile);
+        sharded.register(UserId(i as u64), profile, generator.object(i).position());
+    }
+    assert_eq!(sharded.user_count(), 600);
+    // Users are actually spread over multiple shards.
+    let populated = (0..16).filter(|&i| sharded.shard_population(i) > 0).count();
+    assert!(populated > 4, "only {populated} shards populated");
+
+    for _tick in 0..8 {
+        let updates = generator.tick(1.0, &mut rng);
+        let mut positions = vec![Point::ORIGIN; 600];
+        for (i, pos) in updates {
+            sharded.update_location(UserId(i as u64), pos);
+            positions[i] = pos;
+        }
+        // Sample guarantees every tick.
+        for i in (0..600).step_by(53) {
+            let region = sharded.cloak_user(UserId(i as u64)).unwrap();
+            assert!(
+                region.user_count >= profiles[i].k,
+                "tick {_tick} user {i}: {} < k={}",
+                region.user_count,
+                profiles[i].k
+            );
+            assert!(region.rect.contains(positions[i]), "tick {_tick} user {i}");
+        }
+    }
+    // Population conserved across all the migrations.
+    assert_eq!(sharded.user_count(), 600);
+    let total: usize = (0..16).map(|i| sharded.shard_population(i)).sum();
+    assert_eq!(total, 600);
+}
+
+#[test]
+fn sharded_and_single_node_regions_both_satisfy_same_profiles() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut sharded = ShardedAnonymizer::new(8, 1);
+    let mut single = AdaptiveAnonymizer::adaptive(8);
+    for i in 0..300u64 {
+        let p = Point::new(rng.gen(), rng.gen());
+        let prof = Profile::new(rng.gen_range(1..=40), rng.gen_range(0.0..0.002));
+        sharded.register(UserId(i), prof, p);
+        single.register(UserId(i), prof, p);
+    }
+    for i in 0..300u64 {
+        let a = sharded.cloak_user(UserId(i)).unwrap();
+        let b = single.cloak_region_of(UserId(i)).unwrap();
+        let prof = single.pyramid().profile_of(UserId(i)).unwrap();
+        assert!(a.user_count >= prof.k, "sharded broke k for {i}");
+        assert!(b.user_count >= prof.k, "single broke k for {i}");
+        assert!(a.area() >= prof.a_min - 1e-12);
+        assert!(b.area() >= prof.a_min - 1e-12);
+    }
+}
+
+#[test]
+fn escalated_cloaks_remain_grid_aligned() {
+    // Quality requirement survives sharding: even escalated regions are
+    // global pyramid cells (possibly unions), never data-dependent boxes.
+    let mut sharded = ShardedAnonymizer::new(8, 2);
+    let mut rng = StdRng::seed_from_u64(3);
+    for i in 0..100u64 {
+        sharded.register(
+            UserId(i),
+            Profile::new(90, 0.0), // forces escalation (shards hold < 90)
+            Point::new(rng.gen(), rng.gen()),
+        );
+    }
+    for i in 0..100u64 {
+        let region = sharded.cloak_user(UserId(i)).unwrap();
+        assert!(region.user_count >= 90);
+        let level = region.level;
+        let n = (1u64 << level) as f64;
+        for v in [
+            region.rect.min.x,
+            region.rect.min.y,
+            region.rect.max.x,
+            region.rect.max.y,
+        ] {
+            let scaled = v * n;
+            assert!(
+                (scaled - scaled.round()).abs() < 1e-9,
+                "user {i}: boundary {v} not grid-aligned at level {level}"
+            );
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Integration: recorded movement traces drive both anonymizer variants
+//! with byte-identical input, so their user state must agree exactly —
+//! the foundation under every update-cost comparison in the harness.
+
+use casper::mobility::Trace;
+use casper::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn record_city(seed: u64, users: usize, ticks: usize) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let network = NetworkBuilder::new().grid(10).build(&mut rng);
+    let mut generator = MovingObjectGenerator::new(network, users, &mut rng);
+    Trace::record(&mut generator, &mut rng, ticks, 1.0)
+}
+
+#[test]
+fn replayed_trace_produces_identical_state_in_both_structures() {
+    let trace = record_city(1, 250, 12);
+    let mut basic = CompletePyramid::new(8);
+    let mut adaptive = AdaptivePyramid::new(8);
+    for (i, &pos) in trace.initial.iter().enumerate() {
+        let profile = Profile::new(1 + (i % 40) as u32, 0.0);
+        basic.register(UserId(i as u64), profile, pos);
+        adaptive.register(UserId(i as u64), profile, pos);
+    }
+    trace.replay(|_, i, pos| {
+        basic.update_location(UserId(i as u64), pos);
+        adaptive.update_location(UserId(i as u64), pos);
+    });
+    basic.check_invariants().unwrap();
+    adaptive.check_invariants().unwrap();
+    for i in 0..250u64 {
+        assert_eq!(
+            basic.position_of(UserId(i)),
+            adaptive.position_of(UserId(i)),
+            "user {i} diverged"
+        );
+    }
+}
+
+#[test]
+fn two_replays_of_one_trace_yield_equal_pyramids() {
+    let trace = record_city(2, 150, 8);
+    let run = || {
+        let mut p = AdaptivePyramid::new(7);
+        for (i, &pos) in trace.initial.iter().enumerate() {
+            p.register(UserId(i as u64), Profile::new(5, 0.0), pos);
+        }
+        trace.replay(|_, i, pos| {
+            p.update_location(UserId(i as u64), pos);
+        });
+        p
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.user_count(), b.user_count());
+    assert_eq!(a.maintained_cells(), b.maintained_cells());
+    for i in 0..150u64 {
+        assert_eq!(a.cloak_user(UserId(i)), b.cloak_user(UserId(i)), "user {i}");
+    }
+}
+
+#[test]
+fn trace_statistics_are_sane_for_documentation() {
+    let trace = record_city(3, 100, 10);
+    assert_eq!(trace.object_count(), 100);
+    assert_eq!(trace.tick_count(), 10);
+    assert_eq!(trace.update_count(), 1_000);
+    let d = trace.mean_displacement();
+    assert!(
+        d > 0.0 && d <= 0.05 + 1e-9,
+        "displacement {d} outside speed bound"
+    );
+}
