@@ -22,7 +22,14 @@ impl CasperClient {
     /// Refines a public-data NN candidate list to the exact nearest
     /// neighbour of `pos`. Returns `None` only for an empty list.
     pub fn refine_nn(&self, pos: Point, list: &CandidateList) -> Option<Entry> {
-        list.candidates
+        self.refine_nn_entries(pos, &list.candidates)
+    }
+
+    /// Refines a bare candidate slice — the shape that comes back over
+    /// the wire ([`crate::net::NetworkClient::query_nn`]), where the
+    /// server-side `CandidateList` bookkeeping is not transmitted.
+    pub fn refine_nn_entries(&self, pos: Point, candidates: &[Entry]) -> Option<Entry> {
+        candidates
             .iter()
             .min_by(|a, b| a.mbr.min_dist(pos).total_cmp(&b.mbr.min_dist(pos)))
             .copied()

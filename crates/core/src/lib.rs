@@ -25,6 +25,14 @@
 //!   over a 100 Mbps channel.
 //! * [`wire`] — the message encoding between anonymizer and server
 //!   (fixed-size records matching the cost model).
+//! * [`net`] — the *real* TCP boundary: a hardened server
+//!   (frame-length/connection caps, per-connection error accounting) and
+//!   a resilient client (timeouts, retry with backoff + jitter,
+//!   reconnect-and-replay). [`RemoteCasper`] assembles the pipeline
+//!   across it with graceful degradation.
+//! * [`faults`] (feature `faults`, on by default) — a deterministic
+//!   chaos proxy that drops/corrupts/truncates/delays frames to test the
+//!   above.
 //! * [`StreamingAnonymizer`] — a concurrent ingestion front that absorbs
 //!   high-rate location-update streams on a worker thread.
 
@@ -33,9 +41,12 @@
 mod client;
 mod continuous;
 mod cost;
+#[cfg(feature = "faults")]
+pub mod faults;
 pub mod net;
 mod pipeline;
 mod policy;
+pub mod retry;
 mod server;
 mod sharded;
 pub mod snapshot;
@@ -45,8 +56,10 @@ pub mod wire;
 pub use client::CasperClient;
 pub use continuous::ContinuousNn;
 pub use cost::TransmissionModel;
-pub use pipeline::{Casper, EndToEndAnswer, EndToEndBreakdown};
+pub use net::{ClientConfig, NetError, NetworkClient, NetworkServer, ServerConfig, MAX_FRAME_LEN};
+pub use pipeline::{Casper, EndToEndAnswer, EndToEndBreakdown, QueryOutcome, RemoteCasper};
 pub use policy::FilterPolicy;
+pub use retry::RetryPolicy;
 pub use server::{CasperServer, Category, PrivateHandle, QueryStats};
 pub use sharded::ShardedAnonymizer;
 pub use streaming::StreamingAnonymizer;

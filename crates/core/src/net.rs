@@ -1,28 +1,60 @@
-//! A real network boundary between the anonymizer and the server.
+//! A real, fault-tolerant network boundary between the anonymizer and the
+//! server.
 //!
 //! Everything else in this crate models the anonymizer↔server hop with the
-//! Section 6.3 cost model; this module makes the hop real: a blocking TCP
-//! server hosting a [`CasperServer`] and a client the (trusted-side)
-//! anonymizer uses to push cloaked updates and run cloaked queries. Frames
-//! are the [`crate::wire`] records behind a 4-byte length prefix, so the
-//! bytes on the wire are exactly what the cost model prices.
+//! Section 6.3 cost model; this module makes the hop real — and makes it
+//! survive the failures a deployed location-based service actually sees:
+//!
+//! * **Framing** — [`crate::wire`] records behind an 8-byte header
+//!   (`u32` length + `u32` CRC-32), so the payload bytes on the wire are
+//!   exactly what the cost model prices and corrupted frames are detected
+//!   rather than silently decoded into bogus regions.
+//! * **Hardened server** — frames are length-capped
+//!   ([`MAX_FRAME_LEN`], checked *before* allocating), concurrent
+//!   connections are capped, and every malformed frame kills exactly one
+//!   connection with an accounted, logged [`NetError`] instead of silently
+//!   unwinding a detached thread. Per-handle sequence numbers make cloaked
+//!   -update replay idempotent: stale updates are discarded.
+//! * **Resilient client** — connect/read/write timeouts, retry with
+//!   exponential backoff + deterministic jitter
+//!   ([`crate::retry::RetryPolicy`]), and transparent reconnect that
+//!   replays every handle's last-known cloaked region so a server restart
+//!   loses no private state.
 //!
 //! The implementation is deliberately std-only (threads + blocking
 //! sockets): the workspace's dependency budget has no async runtime, and a
-//! thread per connection is plenty for a reproduction server.
+//! thread per connection is plenty for a reproduction server. The
+//! `faults` cargo feature adds [`crate::faults`], a deterministic
+//! chaos proxy that drops/corrupts/truncates/delays these frames to prove
+//! the above under fire.
 
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use bytes::Bytes;
+use casper_geometry::Rect;
 use casper_qp::FilterCount;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
+use crate::retry::{RetryPolicy, SplitMix64};
 use crate::wire::{decode, encode, Message, WireError};
 use crate::{CasperServer, PrivateHandle};
+
+/// Hard cap on a frame's payload length (1 MiB ≈ 16K records). A peer
+/// advertising more is a protocol violation: the frame is rejected
+/// *before* any buffer is allocated.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Default cap on concurrently served connections.
+pub const MAX_CONNECTIONS: usize = 256;
+
+/// Frame header: payload length (`u32`) + CRC-32 of the payload (`u32`).
+pub(crate) const FRAME_HEADER_LEN: usize = 8;
 
 /// Errors surfaced by the networked endpoints.
 #[derive(Debug)]
@@ -31,7 +63,8 @@ pub enum NetError {
     Io(std::io::Error),
     /// The peer sent an undecodable frame.
     Wire(WireError),
-    /// The peer answered with an unexpected message kind.
+    /// The peer violated the protocol (oversized frame, checksum
+    /// mismatch, unexpected message kind, ...).
     Protocol(&'static str),
 }
 
@@ -59,18 +92,148 @@ impl std::fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
-fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
-    stream.write_all(&(payload.len() as u32).to_be_bytes())?;
+/// CRC-32 (IEEE 802.3, reflected) of `data`. Bitwise, table-free: frames
+/// are small and this avoids a 1 KiB static table.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Splits a frame header into `(payload length, expected CRC-32)`.
+pub(crate) fn parse_header(h: &[u8; FRAME_HEADER_LEN]) -> (usize, u32) {
+    (
+        u32::from_be_bytes([h[0], h[1], h[2], h[3]]) as usize,
+        u32::from_be_bytes([h[4], h[5], h[6], h[7]]),
+    )
+}
+
+/// Writes one checksummed frame.
+pub(crate) fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    header[4..].copy_from_slice(&crc32(payload).to_be_bytes());
+    stream.write_all(&header)?;
     stream.write_all(payload)?;
     stream.flush()
 }
 
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
-    let mut len = [0u8; 4];
-    stream.read_exact(&mut len)?;
-    let mut buf = vec![0u8; u32::from_be_bytes(len) as usize];
+/// Reads one frame, enforcing [`MAX_FRAME_LEN`] before allocating and the
+/// checksum after reading. Used by the client (the server has a
+/// stop-flag-aware variant in [`serve_connection`]).
+fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>, NetError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    stream.read_exact(&mut header)?;
+    let (len, crc) = parse_header(&header);
+    if len > MAX_FRAME_LEN {
+        return Err(NetError::Protocol("frame length exceeds MAX_FRAME_LEN"));
+    }
+    let mut buf = vec![0u8; len];
     stream.read_exact(&mut buf)?;
+    if crc32(&buf) != crc {
+        return Err(NetError::Protocol("frame checksum mismatch"));
+    }
     Ok(buf)
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Address to bind (default `127.0.0.1:0`, an OS-assigned port).
+    /// Binding a *fixed* port lets a restarted server reclaim its old
+    /// address so clients heal by reconnecting.
+    pub bind: SocketAddr,
+    /// Per-frame payload cap; frames advertising more are rejected
+    /// without allocation. Defaults to [`MAX_FRAME_LEN`].
+    pub max_frame_len: usize,
+    /// Cap on concurrently served connections; excess connections are
+    /// accepted and immediately closed. Defaults to [`MAX_CONNECTIONS`].
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            bind: SocketAddr::from(([127, 0, 0, 1], 0)),
+            max_frame_len: MAX_FRAME_LEN,
+            max_connections: MAX_CONNECTIONS,
+        }
+    }
+}
+
+/// Internal atomic counters shared between the accept loop and workers.
+#[derive(Debug, Default)]
+struct StatsInner {
+    accepted: AtomicU64,
+    rejected_connections: AtomicU64,
+    active: AtomicU64,
+    frames: AtomicU64,
+    oversize_frames: AtomicU64,
+    checksum_failures: AtomicU64,
+    wire_errors: AtomicU64,
+    protocol_errors: AtomicU64,
+    stale_updates: AtomicU64,
+    connection_errors: AtomicU64,
+}
+
+/// A point-in-time snapshot of the server's per-connection error
+/// accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetStats {
+    /// Connections accepted (including ones later rejected by the cap).
+    pub accepted: u64,
+    /// Connections closed immediately because the connection cap was hit.
+    pub rejected_connections: u64,
+    /// Connections currently being served.
+    pub active: u64,
+    /// Well-formed frames served.
+    pub frames: u64,
+    /// Frames rejected for advertising a payload over the cap.
+    pub oversize_frames: u64,
+    /// Frames rejected for a CRC mismatch.
+    pub checksum_failures: u64,
+    /// Frames that failed to decode.
+    pub wire_errors: u64,
+    /// Other protocol violations (unexpected message kinds, ...).
+    pub protocol_errors: u64,
+    /// Cloaked updates discarded as stale (older sequence number than the
+    /// newest applied for that handle).
+    pub stale_updates: u64,
+    /// Connections that terminated with an error (each logged).
+    pub connection_errors: u64,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            oversize_frames: self.oversize_frames.load(Ordering::Relaxed),
+            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
+            wire_errors: self.wire_errors.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            stale_updates: self.stale_updates.load(Ordering::Relaxed),
+            connection_errors: self.connection_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Decrements the active-connection gauge when a worker exits, however it
+/// exits.
+struct ActiveGuard(Arc<StatsInner>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// The networked privacy-aware server: accepts anonymizer connections and
@@ -78,36 +241,93 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
 pub struct NetworkServer {
     addr: SocketAddr,
     shared: Arc<RwLock<CasperServer>>,
+    stats: Arc<StatsInner>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
 impl NetworkServer {
-    /// Starts serving `server` on an OS-assigned localhost port.
+    /// Starts serving `server` on an OS-assigned localhost port with
+    /// default hardening ([`ServerConfig::default`]).
     pub fn spawn(server: CasperServer, filters: FilterCount) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        Self::spawn_with(server, filters, ServerConfig::default())
+    }
+
+    /// Starts serving `server` under an explicit [`ServerConfig`].
+    pub fn spawn_with(
+        server: CasperServer,
+        filters: FilterCount,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(config.bind)?;
         let addr = listener.local_addr()?;
+        // A fresh boot id per server instance, echoed in every update ack.
+        // Clients compare acked boot ids: a change is the positive signal
+        // that the server restarted (and lost its private store), which is
+        // the only reliable trigger for a full replay — a reconnect alone
+        // is indistinguishable from a transient network blip.
+        static BOOT_COUNTER: AtomicU64 = AtomicU64::new(1);
+        let boot_id = {
+            let t = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            let n = BOOT_COUNTER.fetch_add(1, Ordering::Relaxed);
+            // Counter in the high bits keeps same-process restarts
+            // distinct even if the clock is coarse or stuck.
+            (t ^ (n << 48)) | n
+        };
         let shared = Arc::new(RwLock::new(server));
+        let seqs: Arc<Mutex<HashMap<u64, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+        let stats = Arc::new(StatsInner::default());
         let stop = Arc::new(AtomicBool::new(false));
-        let (shared2, stop2) = (Arc::clone(&shared), Arc::clone(&stop));
+        let (shared2, stats2, stop2) = (Arc::clone(&shared), Arc::clone(&stats), Arc::clone(&stop));
         // A short accept timeout lets the loop notice the stop flag.
         listener.set_nonblocking(true)?;
         let accept_thread = std::thread::spawn(move || {
             while !stop2.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        stats2.accepted.fetch_add(1, Ordering::Relaxed);
+                        if stats2.active.load(Ordering::Relaxed) >= config.max_connections as u64 {
+                            stats2.rejected_connections.fetch_add(1, Ordering::Relaxed);
+                            drop(stream); // close immediately: over the cap
+                            continue;
+                        }
+                        stats2.active.fetch_add(1, Ordering::Relaxed);
+                        let guard = ActiveGuard(Arc::clone(&stats2));
                         let shared3 = Arc::clone(&shared2);
+                        let seqs3 = Arc::clone(&seqs);
+                        let stats3 = Arc::clone(&stats2);
                         let stop3 = Arc::clone(&stop2);
                         // Workers are detached: they exit on client
-                        // disconnect or when the stop flag is raised
-                        // (observed through the read timeout), so shutdown
-                        // never blocks on an idle connection.
+                        // disconnect, on a protocol violation, or when the
+                        // stop flag is raised (observed through the read
+                        // timeout), so shutdown never blocks on an idle
+                        // connection.
                         std::thread::spawn(move || {
-                            let _ = serve_connection(stream, shared3, stop3, filters);
+                            let _guard = guard;
+                            let peer = stream
+                                .peer_addr()
+                                .map(|a| a.to_string())
+                                .unwrap_or_else(|_| String::from("<unknown>"));
+                            if let Err(e) = serve_connection(
+                                stream,
+                                &shared3,
+                                &seqs3,
+                                &stats3,
+                                &stop3,
+                                filters,
+                                config.max_frame_len,
+                                boot_id,
+                            ) {
+                                stats3.connection_errors.fetch_add(1, Ordering::Relaxed);
+                                eprintln!("casper-net: closing connection {peer}: {e}");
+                            }
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        std::thread::sleep(Duration::from_millis(5));
                     }
                     Err(_) => break,
                 }
@@ -116,6 +336,7 @@ impl NetworkServer {
         Ok(Self {
             addr,
             shared,
+            stats,
             stop,
             accept_thread: Some(accept_thread),
         })
@@ -124,6 +345,11 @@ impl NetworkServer {
     /// The address clients connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// A snapshot of the error-accounting counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats.snapshot()
     }
 
     /// Runs a read-only closure against the hosted server (diagnostics).
@@ -137,29 +363,45 @@ impl NetworkServer {
         f(&mut self.shared.write())
     }
 
-    /// Stops accepting and joins the accept thread. Connections already
-    /// established are drained by their worker threads.
+    /// Stops accepting, joins the accept thread, and waits for worker
+    /// threads to observe the stop flag and close their connections — so
+    /// after `shutdown` returns, the port is free and no straggler worker
+    /// is still serving a client of the "dead" server.
     pub fn shutdown(mut self) {
+        self.stop_and_drain();
+    }
+
+    fn stop_and_drain(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        // Workers notice the stop flag within one read-timeout tick
+        // (50 ms); a worker stuck in a slow write can take up to its
+        // write timeout, so bound the wait rather than spinning forever.
+        for _ in 0..300 {
+            if self.stats.active.load(Ordering::Relaxed) == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
         }
     }
 }
 
 impl Drop for NetworkServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+        self.stop_and_drain();
     }
 }
 
 /// Reads exactly `buf.len()` bytes, surviving read timeouts (progress is
 /// kept across them) and honouring the stop flag. Returns `Ok(false)` on
 /// shutdown or on a clean EOF before the first byte.
-fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> Result<bool, NetError> {
+pub(crate) fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+) -> Result<bool, NetError> {
     let mut done = 0usize;
     while done < buf.len() {
         if stop.load(Ordering::Relaxed) {
@@ -182,86 +424,363 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> Resul
     Ok(true)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     mut stream: TcpStream,
-    shared: Arc<RwLock<CasperServer>>,
-    stop: Arc<AtomicBool>,
+    shared: &RwLock<CasperServer>,
+    seqs: &Mutex<HashMap<u64, u64>>,
+    stats: &StatsInner,
+    stop: &AtomicBool,
     filters: FilterCount,
+    max_frame_len: usize,
+    boot_id: u64,
 ) -> Result<(), NetError> {
     stream.set_nodelay(true).ok();
     // Periodic read timeouts let the worker observe the stop flag while
-    // the client is idle.
-    stream
-        .set_read_timeout(Some(std::time::Duration::from_millis(50)))
-        .ok();
+    // the client is idle; the write timeout keeps a stalled client from
+    // parking the worker forever.
+    stream.set_read_timeout(Some(Duration::from_millis(50))).ok();
+    stream.set_write_timeout(Some(Duration::from_secs(2))).ok();
     loop {
-        let mut len = [0u8; 4];
-        if !read_full(&mut stream, &mut len, &stop)? {
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        if !read_full(&mut stream, &mut header, stop)? {
             return Ok(());
         }
-        let mut frame = vec![0u8; u32::from_be_bytes(len) as usize];
-        if !read_full(&mut stream, &mut frame, &stop)? {
+        let (len, crc) = parse_header(&header);
+        if len > max_frame_len {
+            // Checked before any allocation: a frame advertising 4 GiB
+            // must not reserve 4 GiB.
+            stats.oversize_frames.fetch_add(1, Ordering::Relaxed);
+            return Err(NetError::Protocol("frame length exceeds MAX_FRAME_LEN"));
+        }
+        let mut frame = vec![0u8; len];
+        if !read_full(&mut stream, &mut frame, stop)? {
             return Ok(());
         }
-        match decode(Bytes::from(frame))? {
-            Message::CloakedUpdate { handle, region } => {
-                shared
-                    .write()
-                    .upsert_private_region(PrivateHandle(handle), region);
-                // Updates are fire-and-forget: ack with an empty list so
-                // the client can pipeline synchronously.
-                write_frame(&mut stream, &encode(&Message::Candidates(Vec::new())))?;
+        if crc32(&frame) != crc {
+            stats.checksum_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(NetError::Protocol("frame checksum mismatch"));
+        }
+        let msg = match decode(Bytes::from(frame)) {
+            Ok(msg) => msg,
+            Err(e) => {
+                stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(e.into());
+            }
+        };
+        stats.frames.fetch_add(1, Ordering::Relaxed);
+        match msg {
+            Message::CloakedUpdate {
+                handle,
+                seq,
+                region,
+            } => {
+                let stale = {
+                    let mut seqs = seqs.lock();
+                    match seqs.get(&handle) {
+                        Some(&newest) if seq < newest => true,
+                        _ => {
+                            seqs.insert(handle, seq);
+                            false
+                        }
+                    }
+                };
+                if stale {
+                    stats.stale_updates.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shared
+                        .write()
+                        .upsert_private_region(PrivateHandle(handle), region);
+                }
+                // Updates are acked even when discarded as stale: the
+                // sender's newer state is already applied, so from its
+                // view the update succeeded. The ack carries this
+                // instance's boot id so clients can detect restarts.
+                write_frame(&mut stream, &encode(&Message::UpdateAck { boot_id, seq }))?;
             }
             Message::CloakedQuery { region, .. } => {
                 let (list, _) = shared.read().nn_public(&region, filters);
                 write_frame(&mut stream, &encode(&Message::Candidates(list.candidates)))?;
             }
-            Message::Candidates(_) => {
-                return Err(NetError::Protocol("client sent a candidate list"));
+            Message::Candidates(_) | Message::UpdateAck { .. } => {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(NetError::Protocol("client sent a server-only message"));
             }
         }
     }
 }
 
+/// Client tuning knobs: timeouts and the retry/backoff policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout (a dropped response surfaces after this).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Retry/backoff policy for transient transport failures.
+    pub retry: RetryPolicy,
+    /// Seed for the deterministic backoff jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            retry: RetryPolicy::default(),
+            jitter_seed: 0xCA5B_E7,
+        }
+    }
+}
+
+/// Client-side resilience counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientStats {
+    /// Successful TCP (re)connects, including the first.
+    pub connects: u64,
+    /// Operations that were retried at least once.
+    pub retries: u64,
+    /// Cloaked regions replayed to a freshly reconnected server.
+    pub replayed_regions: u64,
+}
+
 /// The anonymizer-side connection to a [`NetworkServer`].
+///
+/// Resilient by construction: every operation runs under the configured
+/// [`RetryPolicy`], transparently reconnecting on transport failures. On
+/// reconnect the client replays each handle's last-known cloaked region
+/// (tracked with per-handle sequence numbers, so replay is idempotent and
+/// the server discards anything stale) — a restarted server recovers the
+/// full private-region population without anonymizer-side bookkeeping.
+#[derive(Debug)]
 pub struct NetworkClient {
-    stream: TcpStream,
+    addr: SocketAddr,
+    config: ClientConfig,
+    stream: Option<TcpStream>,
+    jitter: SplitMix64,
+    /// `handle → (newest sequence, last-known region)`; the replay set.
+    last_known: std::collections::BTreeMap<u64, (u64, Rect)>,
+    /// Handles whose last-known region may be missing server-side.
+    /// Replay works through this set and clears each handle as its ack
+    /// lands, so progress survives a reconnect that itself fails
+    /// mid-replay — without this, one fault during an N-region replay
+    /// would restart it from scratch and a lossy link could starve replay
+    /// forever. All tracked handles are marked dirty when the server's
+    /// boot id changes (see `note_boot`), never on a mere transport
+    /// error: a blip on a lossy link loses no server state, so
+    /// re-replaying everything would only feed the starvation above.
+    dirty: std::collections::BTreeSet<u64>,
+    /// The boot id last seen in an update ack. `None` until the first
+    /// ack; a change means the server restarted and lost its private
+    /// store, so every tracked handle must be replayed.
+    server_boot: Option<u64>,
+    stats: ClientStats,
 }
 
 impl NetworkClient {
-    /// Connects to a server.
+    /// Connects to a server eagerly with the default [`ClientConfig`].
     pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        Ok(Self { stream })
+        let mut client = Self::with_config(addr, ClientConfig::default());
+        match client.ensure_connected() {
+            Ok(()) => Ok(client),
+            Err(NetError::Io(e)) => Err(e),
+            Err(other) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                other.to_string(),
+            )),
+        }
     }
 
-    fn round_trip(&mut self, msg: &Message) -> Result<Message, NetError> {
-        write_frame(&mut self.stream, &encode(msg))?;
-        let frame = read_frame(&mut self.stream)?;
+    /// Creates a client that connects lazily on first use — construction
+    /// succeeds even while the server is down, which is what a degraded
+    /// anonymizer needs.
+    pub fn with_config(addr: SocketAddr, config: ClientConfig) -> Self {
+        Self {
+            addr,
+            config,
+            stream: None,
+            jitter: SplitMix64::new(config.jitter_seed),
+            last_known: std::collections::BTreeMap::new(),
+            dirty: std::collections::BTreeSet::new(),
+            server_boot: None,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// Resilience counters (reconnects, retries, replays).
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Whether a live TCP stream is currently held. (`false` after a
+    /// transport error until the next operation reconnects.)
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Number of handles whose regions will be replayed on reconnect.
+    pub fn tracked_handles(&self) -> usize {
+        self.last_known.len()
+    }
+
+    /// Stops tracking (and replaying) a handle — call when a user signs
+    /// off.
+    pub fn forget(&mut self, handle: PrivateHandle) {
+        self.last_known.remove(&handle.0);
+        self.dirty.remove(&handle.0);
+    }
+
+    /// Discards the stream after a transport error. Deliberately does
+    /// *not* touch the dirty set: a transport blip loses no server state,
+    /// and a genuine restart is detected positively through the boot id
+    /// in the next ack (`note_boot`).
+    fn drop_stream(&mut self) {
+        self.stream = None;
+    }
+
+    /// Records the boot id carried by an ack. Returns `true` — and marks
+    /// every tracked handle dirty — when it differs from the remembered
+    /// one, i.e. the server restarted and lost its private store.
+    fn note_boot(&mut self, boot_id: u64) -> bool {
+        let restarted = self.server_boot.is_some_and(|known| known != boot_id);
+        self.server_boot = Some(boot_id);
+        if restarted {
+            self.dirty.extend(self.last_known.keys().copied());
+        }
+        restarted
+    }
+
+    /// Establishes the TCP stream if absent, then replays any dirty
+    /// handles ([`Self::flush_dirty`]).
+    fn ensure_connected(&mut self) -> Result<(), NetError> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
+            stream.set_nodelay(true).ok();
+            stream.set_read_timeout(Some(self.config.read_timeout)).ok();
+            stream.set_write_timeout(Some(self.config.write_timeout)).ok();
+            self.stream = Some(stream);
+            self.stats.connects += 1;
+        }
+        self.flush_dirty()
+    }
+
+    /// Replays every *dirty* handle's last-known region so the server
+    /// converges to current state even after losing everything. Each
+    /// acked replay clears its handle immediately: a replay interrupted
+    /// mid-way resumes from where it stopped on the next reconnect
+    /// instead of starting over. If an ack reveals a restart mid-replay
+    /// (`note_boot`), the newly dirtied handles simply join the work
+    /// list.
+    fn flush_dirty(&mut self) -> Result<(), NetError> {
+        while let Some(&handle) = self.dirty.iter().next() {
+            let Some(&(seq, region)) = self.last_known.get(&handle) else {
+                self.dirty.remove(&handle);
+                continue;
+            };
+            let msg = Message::CloakedUpdate {
+                handle,
+                seq,
+                region,
+            };
+            match self.transact(&msg) {
+                Ok(Message::UpdateAck { boot_id, .. }) => {
+                    self.note_boot(boot_id);
+                    self.dirty.remove(&handle);
+                    self.stats.replayed_regions += 1;
+                }
+                Ok(_) => {
+                    self.drop_stream();
+                    return Err(NetError::Protocol("unexpected replay ack"));
+                }
+                Err(e) => {
+                    self.drop_stream();
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One request/response exchange on the live stream (no retry).
+    fn transact(&mut self, msg: &Message) -> Result<Message, NetError> {
+        let stream = self
+            .stream
+            .as_mut()
+            .ok_or(NetError::Protocol("not connected"))?;
+        write_frame(stream, &encode(msg))?;
+        let frame = read_frame(stream)?;
         Ok(decode(Bytes::from(frame))?)
     }
 
-    /// Pushes a cloaked location update for `handle`.
-    pub fn push_update(
-        &mut self,
-        handle: PrivateHandle,
-        region: casper_geometry::Rect,
-    ) -> Result<(), NetError> {
+    fn try_once(&mut self, msg: &Message) -> Result<Message, NetError> {
+        self.ensure_connected()?;
+        self.transact(msg)
+    }
+
+    /// Runs one exchange under the retry policy. Any failure drops the
+    /// stream (the next attempt reconnects and replays), sleeps the
+    /// backoff, and tries again. Safe for every message kind: queries are
+    /// read-only and updates are idempotent under their sequence number.
+    fn round_trip(&mut self, msg: &Message) -> Result<Message, NetError> {
+        let mut last_err = NetError::Protocol("retry budget exhausted");
+        for attempt in 0..self.config.retry.attempts() {
+            if attempt > 0 {
+                if attempt == 1 {
+                    self.stats.retries += 1;
+                }
+                std::thread::sleep(self.config.retry.delay_for(attempt - 1, &mut self.jitter));
+            }
+            match self.try_once(msg) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    self.drop_stream();
+                    last_err = e;
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Pushes a cloaked location update for `handle`, retrying through
+    /// disconnects. The region is remembered for replay-on-reconnect
+    /// until overwritten by a newer update or [`NetworkClient::forget`].
+    pub fn push_update(&mut self, handle: PrivateHandle, region: Rect) -> Result<(), NetError> {
+        let seq = self
+            .last_known
+            .get(&handle.0)
+            .map_or(1, |&(newest, _)| newest + 1);
+        self.last_known.insert(handle.0, (seq, region));
         match self.round_trip(&Message::CloakedUpdate {
             handle: handle.0,
+            seq,
             region,
         })? {
-            Message::Candidates(_) => Ok(()),
+            Message::UpdateAck { boot_id, .. } => {
+                let restarted = self.note_boot(boot_id);
+                // The op itself delivered the newest region.
+                self.dirty.remove(&handle.0);
+                if restarted {
+                    // The ack exposed a server restart: replay the other
+                    // tracked regions now, best-effort — anything left
+                    // dirty is retried by the next operation.
+                    let _ = self.flush_dirty();
+                }
+                Ok(())
+            }
             _ => Err(NetError::Protocol("unexpected ack")),
         }
     }
 
-    /// Runs a cloaked NN query, returning the candidate list.
+    /// Runs a cloaked NN query, returning the candidate list. Retries
+    /// through disconnects (queries are read-only, so this is safe).
     pub fn query_nn(
         &mut self,
         pseudonym: u64,
-        region: casper_geometry::Rect,
+        region: Rect,
     ) -> Result<Vec<casper_index::Entry>, NetError> {
         match self.round_trip(&Message::CloakedQuery { pseudonym, region })? {
             Message::Candidates(list) => Ok(list),
@@ -285,6 +804,35 @@ mod tests {
             )
         }));
         s
+    }
+
+    /// A client config tuned for fast tests: short timeouts, quick
+    /// backoff.
+    fn fast_config() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_millis(300),
+            write_timeout: Duration::from_millis(500),
+            retry: RetryPolicy {
+                max_retries: 8,
+                base_delay: Duration::from_millis(5),
+                multiplier: 1.6,
+                max_delay: Duration::from_millis(100),
+                jitter: 0.2,
+            },
+            jitter_seed: 7,
+        }
+    }
+
+    /// Polls `f` until it returns true or ~2 s elapse.
+    fn eventually(mut f: impl FnMut() -> bool) -> bool {
+        for _ in 0..200 {
+            if f() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        false
     }
 
     #[test]
@@ -351,5 +899,197 @@ mod tests {
         let server = NetworkServer::spawn(server_with_targets(10), FilterCount::One).unwrap();
         let _client = NetworkClient::connect(server.addr()).unwrap();
         server.shutdown(); // must not hang on the idle connection
+    }
+
+    #[test]
+    fn oversize_frame_is_rejected_without_allocation() {
+        let server = NetworkServer::spawn(server_with_targets(10), FilterCount::Four).unwrap();
+        // A raw peer advertising a 4 GiB payload: the server must reject
+        // the header (no allocation) and kill only this connection.
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        header[..4].copy_from_slice(&u32::MAX.to_be_bytes());
+        raw.write_all(&header).unwrap();
+        raw.flush().unwrap();
+        assert!(
+            eventually(|| server.stats().oversize_frames == 1),
+            "oversize frame was not rejected"
+        );
+        // The connection is dead...
+        let mut probe = [0u8; 1];
+        raw.set_read_timeout(Some(Duration::from_secs(2))).ok();
+        assert!(matches!(raw.read(&mut probe), Ok(0) | Err(_)));
+        // ...but the server still serves fresh clients.
+        let mut client = NetworkClient::connect(server.addr()).unwrap();
+        let list = client
+            .query_nn(1, Rect::from_coords(0.4, 0.4, 0.6, 0.6))
+            .unwrap();
+        assert!(!list.is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn corrupted_frame_kills_one_connection_not_the_server() {
+        let server = NetworkServer::spawn(server_with_targets(10), FilterCount::Four).unwrap();
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        // A well-formed query frame with a corrupted payload byte (the
+        // CRC no longer matches).
+        let payload = encode(&Message::CloakedQuery {
+            pseudonym: 1,
+            region: Rect::from_coords(0.4, 0.4, 0.6, 0.6),
+        });
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        header[..4].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+        header[4..].copy_from_slice(&crc32(&payload).to_be_bytes());
+        let mut bad = payload.to_vec();
+        bad[20] ^= 0xFF;
+        raw.write_all(&header).unwrap();
+        raw.write_all(&bad).unwrap();
+        raw.flush().unwrap();
+        assert!(
+            eventually(|| server.stats().checksum_failures == 1),
+            "checksum failure not detected"
+        );
+        assert!(eventually(|| server.stats().connection_errors == 1));
+        // A fresh client is unaffected.
+        let mut client = NetworkClient::connect(server.addr()).unwrap();
+        assert!(!client
+            .query_nn(2, Rect::from_coords(0.4, 0.4, 0.6, 0.6))
+            .unwrap()
+            .is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn stale_updates_are_discarded() {
+        let server = NetworkServer::spawn(CasperServer::new(), FilterCount::Four).unwrap();
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(2))).ok();
+        let newer = Rect::from_coords(0.6, 0.6, 0.7, 0.7);
+        let older = Rect::from_coords(0.1, 0.1, 0.2, 0.2);
+        for (seq, region) in [(5u64, newer), (3u64, older)] {
+            let msg = Message::CloakedUpdate {
+                handle: 42,
+                seq,
+                region,
+            };
+            write_frame(&mut raw, &encode(&msg)).unwrap();
+            let ack = read_frame(&mut raw).unwrap();
+            // Both updates — including the stale one — are acked, with
+            // the sequence echoed back.
+            match decode(Bytes::from(ack)).unwrap() {
+                Message::UpdateAck { seq: acked, .. } => assert_eq!(acked, seq),
+                other => panic!("wrong ack: {other:?}"),
+            }
+        }
+        assert_eq!(server.stats().stale_updates, 1);
+        // The out-of-order (stale) region never overwrote the newer one.
+        let entries = server.with_server(|s| s.private_entries());
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].mbr, newer);
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_reconnects_and_replays_after_server_restart() {
+        let server = NetworkServer::spawn(CasperServer::new(), FilterCount::Four).unwrap();
+        let addr = server.addr();
+        let mut client = NetworkClient::with_config(addr, fast_config());
+        for i in 0..5u64 {
+            let x = i as f64 / 10.0;
+            client
+                .push_update(PrivateHandle(i), Rect::from_coords(x, 0.1, x + 0.05, 0.15))
+                .unwrap();
+        }
+        assert_eq!(server.with_server(|s| s.private_count()), 5);
+        // Restart the server on the same address: all private state is
+        // lost server-side.
+        server.shutdown();
+        let revived = NetworkServer::spawn_with(
+            CasperServer::new(),
+            FilterCount::Four,
+            ServerConfig {
+                bind: addr,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(revived.with_server(|s| s.private_count()), 0);
+        // The next update transparently reconnects and replays every
+        // handle's last-known region first.
+        client
+            .push_update(PrivateHandle(0), Rect::from_coords(0.8, 0.8, 0.9, 0.9))
+            .unwrap();
+        assert_eq!(revived.with_server(|s| s.private_count()), 5);
+        let stats = client.stats();
+        assert!(stats.connects >= 2, "expected a reconnect: {stats:?}");
+        // Handle 0's newest region travelled in the triggering update
+        // itself; the other four were replayed once the ack's boot id
+        // betrayed the restart.
+        assert!(
+            stats.replayed_regions >= 4,
+            "expected a full replay: {stats:?}"
+        );
+        // The replayed handle 0 carries its *newest* region.
+        let entries = revived.with_server(|s| s.private_entries());
+        let h0 = entries.iter().find(|e| e.id.0 == 0).copied().unwrap();
+        assert_eq!(h0.mbr, Rect::from_coords(0.8, 0.8, 0.9, 0.9));
+        revived.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_rejects_excess_clients() {
+        let server = NetworkServer::spawn_with(
+            server_with_targets(10),
+            FilterCount::Four,
+            ServerConfig {
+                max_connections: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let region = Rect::from_coords(0.4, 0.4, 0.6, 0.6);
+        let mut c1 = NetworkClient::connect(server.addr()).unwrap();
+        let mut c2 = NetworkClient::connect(server.addr()).unwrap();
+        c1.query_nn(1, region).unwrap();
+        c2.query_nn(2, region).unwrap();
+        // Both worker slots are now occupied; a third client is accepted
+        // at the TCP level but closed before service.
+        let mut c3 = NetworkClient::with_config(
+            server.addr(),
+            ClientConfig {
+                retry: RetryPolicy::no_retry(),
+                read_timeout: Duration::from_millis(300),
+                ..ClientConfig::default()
+            },
+        );
+        assert!(c3.query_nn(3, region).is_err());
+        assert!(server.stats().rejected_connections >= 1);
+        // The first two clients still work.
+        assert!(!c1.query_nn(4, region).unwrap().is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn forget_stops_replay() {
+        let server = NetworkServer::spawn(CasperServer::new(), FilterCount::Four).unwrap();
+        let mut client = NetworkClient::with_config(server.addr(), fast_config());
+        client
+            .push_update(PrivateHandle(1), Rect::from_coords(0.1, 0.1, 0.2, 0.2))
+            .unwrap();
+        client
+            .push_update(PrivateHandle(2), Rect::from_coords(0.3, 0.3, 0.4, 0.4))
+            .unwrap();
+        assert_eq!(client.tracked_handles(), 2);
+        client.forget(PrivateHandle(1));
+        assert_eq!(client.tracked_handles(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 }

@@ -1,7 +1,16 @@
 //! The end-to-end Casper pipeline (Section 6.3): anonymizer → server →
 //! transmission → client, with the per-component time breakdown of
 //! Figure 17.
+//!
+//! Two assemblies live here: [`Casper`] wires the components in-process
+//! (the paper's measurement rig), while [`RemoteCasper`] puts the real
+//! TCP boundary of [`crate::net`] between the trusted anonymizer and the
+//! privacy-aware server — and degrades gracefully when that boundary
+//! fails: cloaked updates queue in a bounded buffer while the server is
+//! unreachable and flush on reconnect, and queries report an explicit
+//! [`QueryOutcome::Degraded`] instead of panicking.
 
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use casper_anonymizer::Anonymizer;
@@ -10,6 +19,7 @@ use casper_grid::{MaintenanceStats, Profile, PyramidStructure, UserId};
 use casper_index::{Entry, ObjectId};
 use casper_qp::{FilterCount, PrivateBoundMode, RangeAnswer};
 
+use crate::net::{ClientConfig, NetError, NetworkClient};
 use crate::{CasperClient, CasperServer, PrivateHandle, TransmissionModel};
 
 /// Per-component timing of one end-to-end query — the three stacked bars
@@ -212,6 +222,232 @@ impl<P: PyramidStructure> Casper<P> {
     }
 }
 
+/// Default bound on the [`RemoteCasper`] pending-update buffer.
+pub const DEFAULT_PENDING_CAP: usize = 10_000;
+
+/// The outcome of one query against a [`RemoteCasper`].
+#[derive(Debug)]
+pub enum QueryOutcome {
+    /// The server answered; the candidate list was refined locally.
+    Answered(EndToEndAnswer),
+    /// The server was unreachable within the retry budget. The
+    /// anonymizer keeps serving: updates are queued (bounded) and the
+    /// caller can retry the query later.
+    Degraded {
+        /// Cloaked updates currently parked in the pending buffer.
+        pending_updates: usize,
+        /// The transport error that exhausted the retry budget.
+        error: NetError,
+    },
+}
+
+impl QueryOutcome {
+    /// The answer, if the server was reachable.
+    pub fn answered(self) -> Option<EndToEndAnswer> {
+        match self {
+            QueryOutcome::Answered(a) => Some(a),
+            QueryOutcome::Degraded { .. } => None,
+        }
+    }
+
+    /// Whether the outcome is degraded.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, QueryOutcome::Degraded { .. })
+    }
+}
+
+/// The Casper framework with a *real* network boundary between the
+/// trusted anonymizer and the privacy-aware server.
+///
+/// Exact user positions never cross the wire: the anonymizer runs
+/// in-process (it is the trusted tier) and only cloaked regions and
+/// pseudonymous queries travel through the [`NetworkClient`], which
+/// retries, reconnects, and replays per its [`ClientConfig`].
+///
+/// While the server is unreachable the pipeline **degrades** instead of
+/// failing: cloaked updates land in a bounded latest-wins buffer
+/// (overflow evicts the oldest handle, counted in
+/// [`RemoteCasper::dropped_updates`]) that is flushed before the next
+/// successful operation, and queries return
+/// [`QueryOutcome::Degraded`].
+#[derive(Debug)]
+pub struct RemoteCasper<P: PyramidStructure> {
+    anonymizer: Anonymizer<P>,
+    net: NetworkClient,
+    client: CasperClient,
+    transmission: TransmissionModel,
+    /// Cloaked updates awaiting a reachable server: `handle → region`,
+    /// latest-wins per handle.
+    pending: BTreeMap<u64, Rect>,
+    pending_cap: usize,
+    dropped_updates: u64,
+}
+
+impl<P: PyramidStructure> RemoteCasper<P> {
+    /// Assembles the remote pipeline against a server address with the
+    /// default [`ClientConfig`]. Connection is lazy: construction
+    /// succeeds even while the server is down (updates queue until it
+    /// comes up).
+    pub fn new(anonymizer: Anonymizer<P>, server: std::net::SocketAddr) -> Self {
+        Self::with_config(anonymizer, server, ClientConfig::default())
+    }
+
+    /// [`RemoteCasper::new`] with explicit client timeouts/retry policy.
+    pub fn with_config(
+        anonymizer: Anonymizer<P>,
+        server: std::net::SocketAddr,
+        config: ClientConfig,
+    ) -> Self {
+        Self {
+            anonymizer,
+            net: NetworkClient::with_config(server, config),
+            client: CasperClient::new(),
+            transmission: TransmissionModel::default(),
+            pending: BTreeMap::new(),
+            pending_cap: DEFAULT_PENDING_CAP,
+            dropped_updates: 0,
+        }
+    }
+
+    /// Overrides the pending-update buffer bound.
+    pub fn with_pending_cap(mut self, cap: usize) -> Self {
+        self.pending_cap = cap.max(1);
+        self
+    }
+
+    /// Overrides the transmission model.
+    pub fn with_transmission(mut self, model: TransmissionModel) -> Self {
+        self.transmission = model;
+        self
+    }
+
+    /// Registers a mobile user and pushes (or queues) the cloaked region.
+    pub fn register_user(&mut self, uid: UserId, profile: Profile, pos: Point) {
+        self.anonymizer.register(uid, profile, pos);
+        self.push_region(uid);
+    }
+
+    /// Processes a location update, refreshing (or queueing) the
+    /// server-side cloaked region.
+    pub fn move_user(&mut self, uid: UserId, pos: Point) -> MaintenanceStats {
+        let stats = self.anonymizer.update_location(uid, pos);
+        self.push_region(uid);
+        stats
+    }
+
+    /// Changes a user's privacy profile at runtime.
+    pub fn change_profile(&mut self, uid: UserId, profile: Profile) {
+        self.anonymizer.update_profile(uid, profile);
+        self.push_region(uid);
+    }
+
+    /// Removes a user from the anonymizer and stops replaying its region.
+    /// (The wire protocol has no removal message yet, so the server keeps
+    /// the last region until it restarts or the handle is reused.)
+    pub fn sign_off(&mut self, uid: UserId) {
+        self.anonymizer.deregister(uid);
+        self.pending.remove(&uid.0);
+        self.net.forget(PrivateHandle(uid.0));
+    }
+
+    /// Queues the user's current cloaked region and attempts delivery.
+    /// Transport failures are absorbed: the region stays queued.
+    fn push_region(&mut self, uid: UserId) {
+        let Some(region) = self.anonymizer.cloak_region_of(uid) else {
+            return;
+        };
+        if !self.pending.contains_key(&uid.0) && self.pending.len() >= self.pending_cap {
+            // Bounded buffer: evict the oldest queued handle. Its region
+            // is stale-but-k-anonymous on the server; we only lose
+            // freshness, never privacy.
+            if let Some((&evicted, _)) = self.pending.iter().next() {
+                self.pending.remove(&evicted);
+                self.dropped_updates += 1;
+            }
+        }
+        self.pending.insert(uid.0, region.rect);
+        let _ = self.flush_pending();
+    }
+
+    /// Delivers queued cloaked updates until the buffer is empty or the
+    /// transport fails. Returns how many were flushed.
+    pub fn flush_pending(&mut self) -> Result<usize, NetError> {
+        let mut flushed = 0usize;
+        while let Some((&handle, &region)) = self.pending.iter().next() {
+            self.net.push_update(PrivateHandle(handle), region)?;
+            self.pending.remove(&handle);
+            flushed += 1;
+        }
+        Ok(flushed)
+    }
+
+    /// A private NN query over public data through the real network
+    /// boundary. Returns `None` for unknown users; a reachable server
+    /// yields [`QueryOutcome::Answered`], an unreachable one
+    /// [`QueryOutcome::Degraded`].
+    pub fn query_nn(&mut self, uid: UserId) -> Option<QueryOutcome> {
+        let t0 = Instant::now();
+        let query = self.anonymizer.cloak_query(uid)?;
+        let anonymizer_time = t0.elapsed();
+        // Deliver queued updates first so the query runs against current
+        // state; failure means the server is unreachable → degrade.
+        if let Err(error) = self.flush_pending() {
+            self.anonymizer.resolve(query.pseudonym);
+            return Some(QueryOutcome::Degraded {
+                pending_updates: self.pending.len(),
+                error,
+            });
+        }
+        let t1 = Instant::now();
+        let candidates = match self.net.query_nn(query.pseudonym.0, query.region) {
+            Ok(c) => c,
+            Err(error) => {
+                self.anonymizer.resolve(query.pseudonym);
+                return Some(QueryOutcome::Degraded {
+                    pending_updates: self.pending.len(),
+                    error,
+                });
+            }
+        };
+        // Over a real socket the server's internal processing time is not
+        // reported back; the measured round trip stands in for it.
+        let query_time = t1.elapsed();
+        let transmission = self.transmission.time_for_records(candidates.len());
+        let pos = self.anonymizer.pyramid().position_of(uid)?;
+        let exact = self.client.refine_nn_entries(pos, &candidates);
+        self.anonymizer.resolve(query.pseudonym);
+        Some(QueryOutcome::Answered(EndToEndAnswer {
+            exact,
+            candidates: candidates.len(),
+            breakdown: EndToEndBreakdown {
+                anonymizer: anonymizer_time,
+                query: query_time,
+                transmission,
+            },
+        }))
+    }
+
+    /// Cloaked updates currently awaiting a reachable server.
+    pub fn pending_updates(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Updates evicted from the bounded pending buffer so far.
+    pub fn dropped_updates(&self) -> u64 {
+        self.dropped_updates
+    }
+
+    /// Read access to the anonymizer (harnesses, tests).
+    pub fn anonymizer(&self) -> &Anonymizer<P> {
+        &self.anonymizer
+    }
+
+    /// Client-side resilience counters of the underlying transport.
+    pub fn net_stats(&self) -> crate::net::ClientStats {
+        self.net.stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,5 +592,138 @@ mod tests {
         let mut c = Casper::new(BasicAnonymizer::basic(6));
         assert!(c.query_nn(uid(404)).is_none());
         assert!(c.query_nn_private(uid(404)).is_none());
+    }
+
+    use crate::net::NetworkServer;
+    use crate::retry::RetryPolicy;
+
+    fn fast_client_config() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_millis(300),
+            read_timeout: Duration::from_millis(300),
+            write_timeout: Duration::from_millis(300),
+            retry: RetryPolicy {
+                max_retries: 4,
+                base_delay: Duration::from_millis(5),
+                multiplier: 1.5,
+                max_delay: Duration::from_millis(50),
+                jitter: 0.2,
+            },
+            jitter_seed: 11,
+        }
+    }
+
+    #[test]
+    fn remote_pipeline_matches_local_answers() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let targets: Vec<(ObjectId, Point)> = (0..300)
+            .map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen())))
+            .collect();
+        let positions: Vec<Point> = (0..40).map(|_| Point::new(rng.gen(), rng.gen())).collect();
+
+        let mut local = Casper::new(AdaptiveAnonymizer::adaptive(8));
+        local.load_targets(targets.iter().copied());
+
+        let mut backend = CasperServer::new();
+        backend.load_public_targets(targets.iter().copied());
+        let server = NetworkServer::spawn(backend, FilterCount::Four).unwrap();
+        let mut remote = RemoteCasper::new(AdaptiveAnonymizer::adaptive(8), server.addr());
+
+        for (i, &p) in positions.iter().enumerate() {
+            local.register_user(uid(i as u64), Profile::new(3, 0.0), p);
+            remote.register_user(uid(i as u64), Profile::new(3, 0.0), p);
+        }
+        assert_eq!(remote.pending_updates(), 0, "server is up: nothing queued");
+        for i in 0..positions.len() as u64 {
+            let l = local.query_nn(uid(i)).unwrap();
+            let r = remote.query_nn(uid(i)).unwrap().answered().unwrap();
+            assert_eq!(
+                l.exact.map(|e| e.id),
+                r.exact.map(|e| e.id),
+                "user {i}: remote refinement diverged"
+            );
+            assert_eq!(l.candidates, r.candidates);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn remote_pipeline_degrades_and_heals() {
+        let server = NetworkServer::spawn(CasperServer::new(), FilterCount::Four).unwrap();
+        let addr = server.addr();
+        let mut remote =
+            RemoteCasper::with_config(AdaptiveAnonymizer::adaptive(7), addr, fast_client_config());
+        for i in 0..10u64 {
+            remote.register_user(
+                uid(i),
+                Profile::new(2, 0.0),
+                Point::new(0.05 + i as f64 / 20.0, 0.5),
+            );
+        }
+        assert_eq!(server.with_server(|s| s.private_count()), 10);
+        // Kill the server: movement keeps working, updates queue, queries
+        // degrade explicitly instead of panicking or hanging.
+        server.shutdown();
+        for i in 0..10u64 {
+            remote.move_user(uid(i), Point::new(0.05 + i as f64 / 20.0, 0.25));
+        }
+        assert_eq!(remote.pending_updates(), 10);
+        let outcome = remote.query_nn(uid(0)).unwrap();
+        assert!(outcome.is_degraded(), "expected Degraded: {outcome:?}");
+        // Revive the server on the same address: the next query flushes
+        // the queue and answers.
+        let revived = NetworkServer::spawn_with(
+            CasperServer::new(),
+            FilterCount::Four,
+            crate::net::ServerConfig {
+                bind: addr,
+                ..crate::net::ServerConfig::default()
+            },
+        )
+        .unwrap();
+        revived.with_server_mut(|s| {
+            s.load_public_targets((0..50u64).map(|i| {
+                (
+                    ObjectId(i),
+                    Point::new((i % 10) as f64 / 10.0 + 0.05, (i / 10) as f64 / 10.0 + 0.05),
+                )
+            }))
+        });
+        let outcome = remote.query_nn(uid(0)).unwrap();
+        assert!(!outcome.is_degraded(), "expected recovery: {outcome:?}");
+        assert_eq!(remote.pending_updates(), 0);
+        assert_eq!(revived.with_server(|s| s.private_count()), 10);
+        assert_eq!(remote.dropped_updates(), 0);
+        revived.shutdown();
+    }
+
+    #[test]
+    fn pending_buffer_is_bounded_latest_wins() {
+        // No server at all: everything queues against a dead address.
+        let dead: std::net::SocketAddr = ([127, 0, 0, 1], 1).into();
+        let mut remote = RemoteCasper::with_config(
+            AdaptiveAnonymizer::adaptive(6),
+            dead,
+            ClientConfig {
+                retry: RetryPolicy::no_retry(),
+                connect_timeout: Duration::from_millis(50),
+                ..ClientConfig::default()
+            },
+        )
+        .with_pending_cap(5);
+        for i in 0..8u64 {
+            remote.register_user(
+                uid(i),
+                Profile::new(1, 0.0),
+                Point::new(0.1 + i as f64 / 10.0, 0.5),
+            );
+        }
+        assert_eq!(remote.pending_updates(), 5, "buffer must stay bounded");
+        assert_eq!(remote.dropped_updates(), 3);
+        // Re-updating a queued user overwrites in place (latest-wins), it
+        // does not evict.
+        remote.move_user(uid(7), Point::new(0.9, 0.9));
+        assert_eq!(remote.pending_updates(), 5);
+        assert_eq!(remote.dropped_updates(), 3);
     }
 }

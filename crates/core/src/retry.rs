@@ -1,0 +1,169 @@
+//! Retry policies for the anonymizer↔server hop: exponential backoff with
+//! deterministic jitter.
+//!
+//! The networked client ([`crate::net::NetworkClient`]) retries transient
+//! transport failures (timeouts, resets, corrupted frames) under a
+//! [`RetryPolicy`]. Jitter is drawn from a seeded [`SplitMix64`] stream so
+//! chaos tests replay bit-identically; production deployments simply seed
+//! from the connection's address hash.
+
+use std::time::Duration;
+
+/// A tiny, deterministic splitmix64 PRNG.
+///
+/// Used for backoff jitter and by the fault-injection transport
+/// (`faults` feature). Deliberately not `rand`-based: `casper-core` keeps
+/// `rand` as a dev-dependency only, and determinism under a fixed seed is
+/// a hard requirement for replayable chaos tests.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw from `[0, n)`; returns 0 when `n == 0`.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        self.next_u64() % n
+    }
+}
+
+/// Exponential backoff with multiplicative growth, a delay cap, and
+/// proportional jitter.
+///
+/// Attempt `i` (0-based) sleeps `base * multiplier^i`, capped at
+/// `max_delay`, then multiplied by a uniform factor from
+/// `[1 - jitter, 1 + jitter]`.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Number of retries after the initial attempt (`0` = fail fast).
+    pub max_retries: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Growth factor applied per retry (≥ 1.0).
+    pub multiplier: f64,
+    /// Upper bound on any single delay (before jitter).
+    pub max_delay: Duration,
+    /// Proportional jitter in `[0, 1]`; `0.25` means ±25%.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 6,
+            base_delay: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_delay: Duration::from_secs(2),
+            jitter: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: errors surface immediately.
+    pub fn no_retry() -> Self {
+        Self {
+            max_retries: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Total number of attempts (initial try + retries).
+    pub fn attempts(&self) -> u32 {
+        self.max_retries.saturating_add(1)
+    }
+
+    /// The (jittered) delay to sleep before retry number `retry`
+    /// (0-based). Deterministic given the jitter stream.
+    pub fn delay_for(&self, retry: u32, jitter_rng: &mut SplitMix64) -> Duration {
+        let exp = self.multiplier.max(1.0).powi(retry.min(30) as i32);
+        let raw = self.base_delay.as_secs_f64() * exp;
+        let capped = raw.min(self.max_delay.as_secs_f64());
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let factor = 1.0 + jitter * (2.0 * jitter_rng.next_f64() - 1.0);
+        Duration::from_secs_f64((capped * factor).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_uniformish() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = SplitMix64::new(7);
+        let mean: f64 = (0..10_000).map(|_| r.next_f64()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+        for _ in 0..1000 {
+            assert!(r.next_below(10) < 10);
+        }
+        assert_eq!(SplitMix64::new(1).next_below(0), 0);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_delay: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_delay: Duration::from_millis(500),
+            jitter: 0.0,
+        };
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(p.delay_for(0, &mut rng), Duration::from_millis(10));
+        assert_eq!(p.delay_for(1, &mut rng), Duration::from_millis(20));
+        assert_eq!(p.delay_for(4, &mut rng), Duration::from_millis(160));
+        // Capped.
+        assert_eq!(p.delay_for(9, &mut rng), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let p = RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(100),
+            multiplier: 1.0,
+            max_delay: Duration::from_secs(1),
+            jitter: 0.5,
+        };
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..200 {
+            let d = p.delay_for(0, &mut rng).as_secs_f64();
+            assert!((0.05..=0.15).contains(&d), "delay {d} outside ±50% band");
+        }
+    }
+
+    #[test]
+    fn no_retry_fails_fast() {
+        assert_eq!(RetryPolicy::no_retry().attempts(), 1);
+        assert_eq!(RetryPolicy::default().attempts(), 7);
+    }
+}

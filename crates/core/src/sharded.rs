@@ -17,6 +17,16 @@
 //!   escalated);
 //! * regions are still grid-aligned cells of the *global* pyramid, so the
 //!   quality guarantee (no data-dependent boundaries) is unchanged.
+//!
+//! Shards can also fail. A quarantined shard
+//! ([`ShardedAnonymizer::quarantine_shard`]) keeps the system serving in a
+//! degraded mode: location updates touching it are parked in a bounded
+//! queue (drained by [`ShardedAnonymizer::restore_shard`]), and cloaks for
+//! its users escalate to the coordinator's coarse levels — coarser regions
+//! than usual, but still k-anonymous and still grid-aligned, so privacy is
+//! never traded for availability.
+
+use std::collections::VecDeque;
 
 use casper_geometry::{Point, Rect};
 use casper_grid::{
@@ -35,7 +45,17 @@ pub struct ShardedAnonymizer {
     /// shard holds a rescaled copy, and rescaling is lossy when `a_min`
     /// exceeds the shard area, so escalation uses this original.
     homes: casper_grid::FastMap<UserId, (u16, Profile)>,
+    /// Per-shard availability; quarantined shards serve nothing directly.
+    offline: Vec<bool>,
+    /// Location updates parked while their shard is quarantined, in
+    /// arrival order (bounded by `parked_cap`, oldest evicted first).
+    parked: VecDeque<(UserId, Point)>,
+    parked_cap: usize,
+    dropped_parked: u64,
 }
+
+/// Default bound on the parked-update queue of a [`ShardedAnonymizer`].
+pub const DEFAULT_PARKED_CAP: usize = 10_000;
 
 /// Coordinator view: cell counts above (and at) the shard level, derived
 /// from shard populations.
@@ -79,7 +99,17 @@ impl ShardedAnonymizer {
                 .map(|_| AdaptivePyramid::new(global_height - shard_level))
                 .collect(),
             homes: casper_grid::FastMap::default(),
+            offline: vec![false; shard_count],
+            parked: VecDeque::new(),
+            parked_cap: DEFAULT_PARKED_CAP,
+            dropped_parked: 0,
         }
+    }
+
+    /// Overrides the parked-update queue bound.
+    pub fn with_parked_cap(mut self, cap: usize) -> Self {
+        self.parked_cap = cap.max(1);
+        self
     }
 
     /// Number of shards.
@@ -163,6 +193,13 @@ impl ShardedAnonymizer {
         };
         let cell = self.shard_cell(pos);
         let idx = self.shard_index(cell);
+        // Degraded mode: if either the user's home shard or the shard she
+        // is moving into is quarantined, the update cannot be applied —
+        // park it (bounded) for [`ShardedAnonymizer::restore_shard`].
+        if self.offline[home as usize] || self.offline[idx as usize] {
+            self.park(uid, pos);
+            return MaintenanceStats::ZERO;
+        }
         let local = self.to_local(cell, pos);
         if idx == home {
             return self.shards[idx as usize].update_location(uid, local);
@@ -174,6 +211,51 @@ impl ShardedAnonymizer {
         stats += self.shards[idx as usize].register(uid, lp, local);
         self.homes.insert(uid, (idx, profile));
         stats
+    }
+
+    fn park(&mut self, uid: UserId, pos: Point) {
+        if self.parked.len() >= self.parked_cap {
+            // Dropping the *oldest* update loses only freshness: the
+            // user's previous cloaked region remains valid and
+            // k-anonymous.
+            self.parked.pop_front();
+            self.dropped_parked += 1;
+        }
+        self.parked.push_back((uid, pos));
+    }
+
+    /// Marks a shard as failed. Its users keep getting (coarser) cloaks
+    /// via coordinator escalation; updates touching it are parked.
+    pub fn quarantine_shard(&mut self, idx: usize) {
+        self.offline[idx] = true;
+    }
+
+    /// Brings a shard back and drains the parked queue, re-applying every
+    /// update whose shards are now online (others are re-parked). Returns
+    /// how many parked updates were applied.
+    pub fn restore_shard(&mut self, idx: usize) -> usize {
+        self.offline[idx] = false;
+        let drained: Vec<(UserId, Point)> = self.parked.drain(..).collect();
+        let before = drained.len();
+        for (uid, pos) in drained {
+            self.update_location(uid, pos);
+        }
+        before - self.parked.len()
+    }
+
+    /// Whether shard `idx` is currently serving (not quarantined).
+    pub fn shard_online(&self, idx: usize) -> bool {
+        !self.offline[idx]
+    }
+
+    /// Location updates currently parked behind quarantined shards.
+    pub fn parked_updates(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Parked updates evicted from the bounded queue so far.
+    pub fn dropped_updates(&self) -> u64 {
+        self.dropped_parked
     }
 
     /// Changes a user's privacy profile.
@@ -202,6 +284,15 @@ impl ShardedAnonymizer {
         let &(home, global_profile) = self.homes.get(&uid)?;
         let extent = CellId::grid_extent(self.shard_level);
         let cell = CellId::new(self.shard_level, home as u32 % extent, home as u32 / extent);
+        if self.offline[home as usize] {
+            // Degraded mode: the home shard cannot answer, but the
+            // coordinator knows its population and the user's home cell,
+            // so it escalates directly — a coarser region than the shard
+            // would give, yet still grid-aligned and still covering ≥ k
+            // real users. Availability degrades; privacy does not.
+            let top = TopCounts { anonymizer: self };
+            return Some(bottom_up_cloak(&top, global_profile, cell));
+        }
         let shard = &self.shards[home as usize];
         let local_profile = shard.profile_of(uid)?;
         let local = shard.cloak_user(uid)?;
@@ -377,6 +468,90 @@ mod tests {
             );
             let pos = single.position_of(uid(i)).unwrap();
             assert!(region.rect.contains(pos), "user {i}: region misses user");
+        }
+    }
+
+    #[test]
+    fn quarantined_shard_parks_updates_and_restores() {
+        let mut s = ShardedAnonymizer::new(7, 1); // 4 shards
+        for i in 0..10u64 {
+            s.register(
+                uid(i),
+                Profile::new(2, 0.0),
+                Point::new(0.1 + i as f64 * 1e-3, 0.1), // all in shard 0
+            );
+        }
+        s.register(uid(100), Profile::new(1, 0.0), Point::new(0.9, 0.9));
+        s.quarantine_shard(0);
+        assert!(!s.shard_online(0));
+        // Updates touching the dead shard park instead of mutating it.
+        s.update_location(uid(0), Point::new(0.15, 0.15));
+        // A migration *out of* the dead shard parks too (the home copy is
+        // unreachable).
+        s.update_location(uid(1), Point::new(0.9, 0.8));
+        assert_eq!(s.parked_updates(), 2);
+        assert_eq!(s.shard_population(0), 10, "quarantined shard untouched");
+        // Users elsewhere are unaffected: their updates apply, not park.
+        s.update_location(uid(100), Point::new(0.85, 0.85));
+        assert_eq!(s.parked_updates(), 2);
+        let r = s.cloak_user(uid(100)).unwrap();
+        assert!(r.rect.contains(Point::new(0.85, 0.85)));
+        // Restore: parked updates drain and apply.
+        let applied = s.restore_shard(0);
+        assert_eq!(applied, 2);
+        assert_eq!(s.parked_updates(), 0);
+        assert_eq!(s.shard_population(0), 9, "user 1 migrated out on drain");
+        assert_eq!(s.shard_population(3), 2);
+        let region = s.cloak_user(uid(1)).unwrap();
+        assert!(region.rect.contains(Point::new(0.9, 0.8)));
+    }
+
+    #[test]
+    fn quarantined_shard_still_cloaks_with_k_anonymity() {
+        let mut s = ShardedAnonymizer::new(7, 1);
+        for i in 0..10u64 {
+            s.register(
+                uid(i),
+                Profile::new(5, 0.0),
+                Point::new(0.1 + i as f64 * 1e-3, 0.1),
+            );
+        }
+        let normal = s.cloak_user(uid(0)).unwrap();
+        s.quarantine_shard(0);
+        let degraded = s.cloak_user(uid(0)).unwrap();
+        // Still an answer, still containing the user, still ≥ k users —
+        // just coarser (a coordinator-level cell).
+        assert!(degraded.rect.contains(Point::new(0.1, 0.1)));
+        assert!(degraded.user_count >= 5);
+        assert!(degraded.level <= 1, "escalated to the coordinator's cells");
+        assert!(
+            degraded.area() >= normal.area(),
+            "degraded cloak can only be coarser"
+        );
+    }
+
+    #[test]
+    fn parked_queue_is_bounded_drop_oldest() {
+        let mut s = ShardedAnonymizer::new(7, 1).with_parked_cap(3);
+        for i in 0..5u64 {
+            s.register(
+                uid(i),
+                Profile::new(1, 0.0),
+                Point::new(0.1 + i as f64 * 1e-2, 0.1),
+            );
+        }
+        s.quarantine_shard(0);
+        for i in 0..5u64 {
+            s.update_location(uid(i), Point::new(0.2, 0.2 + i as f64 * 1e-2));
+        }
+        assert_eq!(s.parked_updates(), 3);
+        assert_eq!(s.dropped_updates(), 2);
+        // The survivors are the *newest* updates.
+        let applied = s.restore_shard(0);
+        assert_eq!(applied, 3);
+        for i in 2..5u64 {
+            let region = s.cloak_user(uid(i)).unwrap();
+            assert!(region.rect.contains(Point::new(0.2, 0.2 + i as f64 * 1e-2)));
         }
     }
 

@@ -105,6 +105,12 @@ pub fn load(mut bytes: Bytes) -> Result<CasperServer, SnapshotError> {
     }
     let public = bytes.get_u32() as usize;
     let private = bytes.get_u32() as usize;
+    // The counts are attacker-controlled (snapshots may arrive over the
+    // network): reject before reserving if the buffer cannot possibly
+    // hold that many records.
+    if public.saturating_add(private) > bytes.remaining() / RECORD_BYTES {
+        return Err(SnapshotError::Truncated);
+    }
     let mut server = CasperServer::new();
     let mut targets = Vec::with_capacity(public);
     for _ in 0..public {
@@ -193,6 +199,21 @@ mod tests {
         assert!(matches!(load(cut), Err(SnapshotError::Truncated)));
         // Empty.
         assert!(matches!(load(Bytes::new()), Err(SnapshotError::Truncated)));
+    }
+
+    #[test]
+    fn hostile_counts_are_rejected_without_allocation() {
+        // A 14-byte header advertising u32::MAX records of each kind must
+        // fail fast, not reserve ~550 GiB.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16(VERSION);
+        buf.put_u32(u32::MAX);
+        buf.put_u32(u32::MAX);
+        assert!(matches!(
+            load(buf.freeze()),
+            Err(SnapshotError::Truncated)
+        ));
     }
 
     #[test]

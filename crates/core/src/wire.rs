@@ -8,12 +8,18 @@
 //! Layout (big-endian):
 //!
 //! * **region record** (updates/queries): tag `u8`, pad `[u8; 7]`,
-//!   pseudonym/handle `u64`, rect `4 x f64`, pad to 64.
+//!   pseudonym/handle `u64`, rect `4 x f64`, sequence `u64`, pad to 64.
 //! * **candidate record** (answers): tag `u8`, pad `[u8; 7]`, object id
 //!   `u64`, rect `4 x f64`, pad to 64.
 //!
 //! A candidate list is a `u32` count followed by that many candidate
 //! records.
+//!
+//! The sequence number (meaningful for updates only; zero elsewhere) lives
+//! in bytes that were previously padding, so record size — and therefore
+//! the cost model — is unchanged. It makes cloaked-update replay after a
+//! reconnect idempotent: the server discards updates whose sequence is
+//! older than the newest it has applied for that handle.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use casper_geometry::{Point, Rect};
@@ -25,6 +31,7 @@ pub const RECORD_BYTES: usize = 64;
 const TAG_UPDATE: u8 = 1;
 const TAG_QUERY: u8 = 2;
 const TAG_CANDIDATE: u8 = 3;
+const TAG_ACK: u8 = 4;
 
 /// Messages exchanged between the anonymizer and the server.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +40,10 @@ pub enum Message {
     CloakedUpdate {
         /// Opaque private-store handle.
         handle: u64,
+        /// Per-handle sequence number (monotone at the sender). The
+        /// server drops updates older than the newest applied for the
+        /// handle, which makes reconnect replay idempotent.
+        seq: u64,
         /// The cloaked spatial region.
         region: Rect,
     },
@@ -45,6 +56,17 @@ pub enum Message {
     },
     /// The candidate list shipped back to the client.
     Candidates(Vec<Entry>),
+    /// Acknowledgement of a [`Message::CloakedUpdate`].
+    UpdateAck {
+        /// The server instance's boot identifier. A client seeing this
+        /// change knows the server restarted (losing its private store)
+        /// and replays every tracked region — the *only* reliable restart
+        /// signal, since a reconnect alone is indistinguishable from a
+        /// transient network blip.
+        boot_id: u64,
+        /// The acknowledged sequence number, echoed back.
+        seq: u64,
+    },
 }
 
 /// Errors surfaced while decoding.
@@ -82,18 +104,19 @@ fn get_rect(buf: &mut Bytes) -> Result<Rect, WireError> {
     Ok(Rect::new(Point::new(ax, ay), Point::new(bx, by)))
 }
 
-fn put_record(buf: &mut BytesMut, tag: u8, id: u64, rect: &Rect) {
+fn put_record(buf: &mut BytesMut, tag: u8, id: u64, rect: &Rect, seq: u64) {
     let start = buf.len();
     buf.put_u8(tag);
     buf.put_bytes(0, 7);
     buf.put_u64(id);
     put_rect(buf, rect);
+    buf.put_u64(seq);
     // Pad the record to exactly RECORD_BYTES.
     let written = buf.len() - start;
     buf.put_bytes(0, RECORD_BYTES - written);
 }
 
-fn get_record(buf: &mut Bytes) -> Result<(u8, u64, Rect), WireError> {
+fn get_record(buf: &mut Bytes) -> Result<(u8, u64, Rect, u64), WireError> {
     if buf.remaining() < RECORD_BYTES {
         return Err(WireError::Truncated);
     }
@@ -101,8 +124,9 @@ fn get_record(buf: &mut Bytes) -> Result<(u8, u64, Rect), WireError> {
     buf.advance(7);
     let id = buf.get_u64();
     let rect = get_rect(buf)?;
-    buf.advance(RECORD_BYTES - 48);
-    Ok((tag, id, rect))
+    let seq = buf.get_u64();
+    buf.advance(RECORD_BYTES - 56);
+    Ok((tag, id, rect, seq))
 }
 
 /// Encodes a message. The output length is always a whole number of
@@ -110,17 +134,24 @@ fn get_record(buf: &mut Bytes) -> Result<(u8, u64, Rect), WireError> {
 pub fn encode(msg: &Message) -> Bytes {
     let mut buf = BytesMut::new();
     match msg {
-        Message::CloakedUpdate { handle, region } => {
-            put_record(&mut buf, TAG_UPDATE, *handle, region);
+        Message::CloakedUpdate {
+            handle,
+            seq,
+            region,
+        } => {
+            put_record(&mut buf, TAG_UPDATE, *handle, region, *seq);
         }
         Message::CloakedQuery { pseudonym, region } => {
-            put_record(&mut buf, TAG_QUERY, *pseudonym, region);
+            put_record(&mut buf, TAG_QUERY, *pseudonym, region, 0);
         }
         Message::Candidates(entries) => {
             buf.put_u32(entries.len() as u32);
             for e in entries {
-                put_record(&mut buf, TAG_CANDIDATE, e.id.0, &e.mbr);
+                put_record(&mut buf, TAG_CANDIDATE, e.id.0, &e.mbr, 0);
             }
+        }
+        Message::UpdateAck { boot_id, seq } => {
+            put_record(&mut buf, TAG_ACK, *boot_id, &Rect::unit(), *seq);
         }
     }
     buf.freeze()
@@ -131,17 +162,19 @@ pub fn encode(msg: &Message) -> Bytes {
 /// this decoder sniffs: buffers whose length is a multiple of 64 decode as
 /// a single record, others as candidate lists.
 pub fn decode(mut bytes: Bytes) -> Result<Message, WireError> {
-    if bytes.len().is_multiple_of(RECORD_BYTES) && bytes.len() == RECORD_BYTES {
-        let (tag, id, rect) = get_record(&mut bytes)?;
+    if bytes.len() == RECORD_BYTES {
+        let (tag, id, rect, seq) = get_record(&mut bytes)?;
         return match tag {
             TAG_UPDATE => Ok(Message::CloakedUpdate {
                 handle: id,
+                seq,
                 region: rect,
             }),
             TAG_QUERY => Ok(Message::CloakedQuery {
                 pseudonym: id,
                 region: rect,
             }),
+            TAG_ACK => Ok(Message::UpdateAck { boot_id: id, seq }),
             t => Err(WireError::BadTag(t)),
         };
     }
@@ -149,9 +182,15 @@ pub fn decode(mut bytes: Bytes) -> Result<Message, WireError> {
         return Err(WireError::Truncated);
     }
     let count = bytes.get_u32() as usize;
+    // The count is peer-controlled: reject before allocating if the
+    // buffer cannot possibly hold that many records (a hostile 4-billion
+    // count must not reserve gigabytes).
+    if count > bytes.remaining() / RECORD_BYTES {
+        return Err(WireError::Truncated);
+    }
     let mut entries = Vec::with_capacity(count);
     for _ in 0..count {
-        let (tag, id, rect) = get_record(&mut bytes)?;
+        let (tag, id, rect, _seq) = get_record(&mut bytes)?;
         if tag != TAG_CANDIDATE {
             return Err(WireError::BadTag(tag));
         }
@@ -164,7 +203,9 @@ pub fn decode(mut bytes: Bytes) -> Result<Message, WireError> {
 /// [`crate::TransmissionModel::time_for_records`].
 pub fn record_count(msg: &Message) -> usize {
     match msg {
-        Message::CloakedUpdate { .. } | Message::CloakedQuery { .. } => 1,
+        Message::CloakedUpdate { .. }
+        | Message::CloakedQuery { .. }
+        | Message::UpdateAck { .. } => 1,
         Message::Candidates(entries) => entries.len(),
     }
 }
@@ -181,11 +222,26 @@ mod tests {
     fn update_round_trips() {
         let msg = Message::CloakedUpdate {
             handle: 42,
+            seq: 9001,
             region: rect(),
         };
         let bytes = encode(&msg);
         assert_eq!(bytes.len(), RECORD_BYTES);
         assert_eq!(decode(bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn hostile_candidate_count_is_rejected_without_allocation() {
+        // A 4-byte frame advertising u32::MAX candidate records must fail
+        // fast: `decode` may not reserve count * RECORD_BYTES bytes.
+        let mut buf = BytesMut::new();
+        buf.put_u32(u32::MAX);
+        assert_eq!(decode(buf.freeze()), Err(WireError::Truncated));
+        // Same with a little trailing garbage.
+        let mut buf = BytesMut::new();
+        buf.put_u32(u32::MAX);
+        buf.put_bytes(0xAB, 100);
+        assert_eq!(decode(buf.freeze()), Err(WireError::Truncated));
     }
 
     #[test]
@@ -195,6 +251,17 @@ mod tests {
             region: rect(),
         };
         assert_eq!(decode(encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn update_ack_round_trips() {
+        let msg = Message::UpdateAck {
+            boot_id: 0xB007_1D,
+            seq: 17,
+        };
+        let bytes = encode(&msg);
+        assert_eq!(bytes.len(), RECORD_BYTES);
+        assert_eq!(decode(bytes).unwrap(), msg);
     }
 
     #[test]
@@ -248,7 +315,7 @@ mod tests {
     #[test]
     fn bad_tag_errors() {
         let mut buf = BytesMut::new();
-        put_record(&mut buf, 99, 1, &rect());
+        put_record(&mut buf, 99, 1, &rect(), 0);
         assert_eq!(decode(buf.freeze()), Err(WireError::BadTag(99)));
     }
 }

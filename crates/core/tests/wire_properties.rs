@@ -1,7 +1,8 @@
 //! Property tests for the wire format and snapshots: any encodable value
-//! round-trips bit-exactly, and sizes always match the 64-byte record
-//! cost model.
+//! round-trips bit-exactly, sizes always match the 64-byte record cost
+//! model — and `decode` never panics, whatever hostile bytes it is fed.
 
+use bytes::Bytes;
 use casper_core::wire::{decode, encode, record_count, Message, RECORD_BYTES};
 use casper_core::{snapshot, CasperServer, PrivateHandle, TransmissionModel};
 use casper_geometry::{Point, Rect};
@@ -19,8 +20,8 @@ fn entry() -> impl Strategy<Value = Entry> {
 
 proptest! {
     #[test]
-    fn updates_round_trip(handle in any::<u64>(), region in rect()) {
-        let msg = Message::CloakedUpdate { handle, region };
+    fn updates_round_trip(handle in any::<u64>(), seq in any::<u64>(), region in rect()) {
+        let msg = Message::CloakedUpdate { handle, seq, region };
         prop_assert_eq!(decode(encode(&msg)).unwrap(), msg);
     }
 
@@ -82,5 +83,48 @@ proptest! {
         let b = restored.range_private(&probe);
         prop_assert_eq!(a.max_count(), b.max_count());
         prop_assert!((a.expected_count - b.expected_count).abs() < 1e-9);
+    }
+
+    // ------ decode is total: hostile inputs error, never panic ------
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Whatever comes off the wire, decode returns Ok or Err — the
+        // result itself is irrelevant here, only that it *returns*.
+        let _ = decode(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn decode_never_panics_on_truncations(
+        entries in prop::collection::vec(entry(), 0..20),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let bytes = encode(&Message::Candidates(entries));
+        let cut = cut.index(bytes.len() + 1);
+        let _ = decode(bytes.slice(0..cut));
+    }
+
+    #[test]
+    fn decode_never_panics_on_corruption(
+        handle in any::<u64>(),
+        seq in any::<u64>(),
+        region in rect(),
+        idx in any::<prop::sample::Index>(),
+        flip in 1..=255u8,
+    ) {
+        let bytes = encode(&Message::CloakedUpdate { handle, seq, region });
+        let mut raw = bytes.to_vec();
+        let i = idx.index(raw.len());
+        raw[i] ^= flip;
+        let _ = decode(Bytes::from(raw));
+    }
+
+    #[test]
+    fn decode_rejects_oversized_counts_fast(count in 1024u32.., tail in prop::collection::vec(any::<u8>(), 0..50)) {
+        // A count prefix promising more records than the buffer can hold
+        // must error before reserving memory for them.
+        let mut raw = count.to_be_bytes().to_vec();
+        raw.extend_from_slice(&tail);
+        prop_assert!(decode(Bytes::from(raw)).is_err());
     }
 }
