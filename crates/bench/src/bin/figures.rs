@@ -35,6 +35,8 @@ fn main() {
         "# Casper figure harness — scale: {} users, {} targets, {} queries/point\n",
         scale.users, scale.targets, scale.queries
     );
+    #[cfg(feature = "telemetry")]
+    let mut snapshots: Vec<String> = Vec::new();
     for id in ids {
         match run(id, &scale) {
             Some(tables) => {
@@ -47,5 +49,22 @@ fn main() {
                 std::process::exit(2);
             }
         }
+        // Snapshot the (cumulative) registry after every figure so a
+        // crash mid-run still leaves the trajectory up to that point.
+        #[cfg(feature = "telemetry")]
+        {
+            snapshots.push(format!(
+                "\"{id}\": {}",
+                casper_telemetry::registry().snapshot_json()
+            ));
+            let blob = format!("{{{}}}\n", snapshots.join(", "));
+            if let Err(e) = std::fs::write("BENCH_telemetry.json", &blob) {
+                eprintln!("warning: could not write BENCH_telemetry.json: {e}");
+            }
+        }
+    }
+    #[cfg(feature = "telemetry")]
+    if !snapshots.is_empty() {
+        eprintln!("telemetry snapshots written to BENCH_telemetry.json");
     }
 }

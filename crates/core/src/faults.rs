@@ -154,6 +154,60 @@ impl FaultInjector {
     }
 }
 
+/// Per-kind injected-fault totals of a [`ChaosProxy`], for asserting that
+/// observed client-side retries line up with what was actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTally {
+    /// Frames silently dropped.
+    pub drops: u64,
+    /// Frames with one payload byte flipped (CRC left intact).
+    pub corrupts: u64,
+    /// Frames cut mid-payload with the connection then severed.
+    pub truncates: u64,
+    /// Connections severed before a frame was forwarded.
+    pub disconnects: u64,
+    /// Frames delivered late.
+    pub delays: u64,
+}
+
+impl FaultTally {
+    /// Total faults across all kinds.
+    pub fn total(&self) -> u64 {
+        self.drops + self.corrupts + self.truncates + self.disconnects + self.delays
+    }
+}
+
+/// Shared per-kind fault counters (one set per proxy, updated by every
+/// pump thread).
+#[derive(Debug, Default)]
+struct TallyCells {
+    drops: AtomicU64,
+    corrupts: AtomicU64,
+    truncates: AtomicU64,
+    disconnects: AtomicU64,
+    delays: AtomicU64,
+}
+
+impl TallyCells {
+    fn note(cell: &AtomicU64, kind: &'static str) {
+        cell.fetch_add(1, Ordering::Relaxed);
+        #[cfg(feature = "telemetry")]
+        crate::tel::record_injected_fault(kind);
+        #[cfg(not(feature = "telemetry"))]
+        let _ = kind;
+    }
+
+    fn snapshot(&self) -> FaultTally {
+        FaultTally {
+            drops: self.drops.load(Ordering::Relaxed),
+            corrupts: self.corrupts.load(Ordering::Relaxed),
+            truncates: self.truncates.load(Ordering::Relaxed),
+            disconnects: self.disconnects.load(Ordering::Relaxed),
+            delays: self.delays.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A frame-aware chaos proxy between a client and an upstream server.
 ///
 /// Listens on an OS-assigned localhost port; every accepted connection is
@@ -161,7 +215,7 @@ impl FaultInjector {
 /// by two threads, each with its own deterministic [`FaultInjector`].
 pub struct ChaosProxy {
     addr: SocketAddr,
-    injected: Arc<AtomicU64>,
+    tally: Arc<TallyCells>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
 }
@@ -173,8 +227,8 @@ impl ChaosProxy {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let injected = Arc::new(AtomicU64::new(0));
-        let (stop2, injected2) = (Arc::clone(&stop), Arc::clone(&injected));
+        let tally = Arc::new(TallyCells::default());
+        let (stop2, tally2) = (Arc::clone(&stop), Arc::clone(&tally));
         let accept_thread = std::thread::spawn(move || {
             let mut conn_index = 0u64;
             while !stop2.load(Ordering::Relaxed) {
@@ -197,9 +251,9 @@ impl ChaosProxy {
                                 config.seed ^ conn_index.rotate_left(17) ^ salt,
                             );
                             let stop3 = Arc::clone(&stop2);
-                            let injected3 = Arc::clone(&injected2);
+                            let tally3 = Arc::clone(&tally2);
                             std::thread::spawn(move || {
-                                pump(src, dst, injector, &stop3, &injected3);
+                                pump(src, dst, injector, &stop3, &tally3);
                             });
                         }
                     }
@@ -212,7 +266,7 @@ impl ChaosProxy {
         });
         Ok(Self {
             addr,
-            injected,
+            tally,
             stop,
             accept_thread: Some(accept_thread),
         })
@@ -225,7 +279,13 @@ impl ChaosProxy {
 
     /// Total faults injected across all connections and directions.
     pub fn injected(&self) -> u64 {
-        self.injected.load(Ordering::Relaxed)
+        self.tally.snapshot().total()
+    }
+
+    /// Per-kind injected-fault totals across all connections and
+    /// directions.
+    pub fn tally(&self) -> FaultTally {
+        self.tally.snapshot()
     }
 
     /// Stops accepting new connections and joins the accept thread.
@@ -253,7 +313,7 @@ fn pump(
     mut dst: TcpStream,
     mut injector: FaultInjector,
     stop: &AtomicBool,
-    injected: &AtomicU64,
+    tally: &TallyCells,
 ) {
     src.set_nodelay(true).ok();
     dst.set_nodelay(true).ok();
@@ -290,10 +350,16 @@ fn pump(
                 return;
             }
         }
-        let before = injector.injected();
         let (action, delay) = injector.next_action();
-        injected.fetch_add(injector.injected() - before, Ordering::Relaxed);
+        match action {
+            FaultAction::Deliver => {}
+            FaultAction::Drop => TallyCells::note(&tally.drops, "drop"),
+            FaultAction::Corrupt => TallyCells::note(&tally.corrupts, "corrupt"),
+            FaultAction::Truncate => TallyCells::note(&tally.truncates, "truncate"),
+            FaultAction::Disconnect => TallyCells::note(&tally.disconnects, "disconnect"),
+        }
         if let Some(d) = delay {
+            TallyCells::note(&tally.delays, "delay");
             std::thread::sleep(d);
         }
         let forwarded = match action {
@@ -420,6 +486,7 @@ mod tests {
         b.sort_unstable();
         assert_eq!(a, b);
         assert_eq!(proxy.injected(), 0);
+        assert_eq!(proxy.tally(), FaultTally::default());
         proxy.shutdown();
         server.shutdown();
     }

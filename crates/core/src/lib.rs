@@ -51,6 +51,8 @@ mod server;
 mod sharded;
 pub mod snapshot;
 mod streaming;
+#[cfg(feature = "telemetry")]
+mod tel;
 pub mod wire;
 
 pub use client::CasperClient;

@@ -155,6 +155,12 @@ pub struct ServerConfig {
     /// Cap on concurrently served connections; excess connections are
     /// accepted and immediately closed. Defaults to [`MAX_CONNECTIONS`].
     pub max_connections: usize,
+    /// Address for the optional plain-HTTP metrics listener (`/metrics`
+    /// and `/flight`, e.g. `127.0.0.1:0` for an OS-assigned port).
+    /// `None` (the default) starts no listener; the metrics page is still
+    /// reachable over the wire protocol via [`Message::MetricsRequest`].
+    #[cfg(feature = "telemetry")]
+    pub metrics_http: Option<SocketAddr>,
 }
 
 impl Default for ServerConfig {
@@ -163,6 +169,8 @@ impl Default for ServerConfig {
             bind: SocketAddr::from(([127, 0, 0, 1], 0)),
             max_frame_len: MAX_FRAME_LEN,
             max_connections: MAX_CONNECTIONS,
+            #[cfg(feature = "telemetry")]
+            metrics_http: None,
         }
     }
 }
@@ -233,6 +241,8 @@ struct ActiveGuard(Arc<StatsInner>);
 impl Drop for ActiveGuard {
     fn drop(&mut self) {
         self.0.active.fetch_sub(1, Ordering::Relaxed);
+        #[cfg(feature = "telemetry")]
+        crate::tel::net_server().active.add(-1);
     }
 }
 
@@ -244,6 +254,8 @@ pub struct NetworkServer {
     stats: Arc<StatsInner>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    #[cfg(feature = "telemetry")]
+    metrics_http: Option<casper_telemetry::MetricsHttp>,
 }
 
 impl NetworkServer {
@@ -289,12 +301,18 @@ impl NetworkServer {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         stats2.accepted.fetch_add(1, Ordering::Relaxed);
+                        #[cfg(feature = "telemetry")]
+                        crate::tel::net_server().accepted.inc();
                         if stats2.active.load(Ordering::Relaxed) >= config.max_connections as u64 {
                             stats2.rejected_connections.fetch_add(1, Ordering::Relaxed);
+                            #[cfg(feature = "telemetry")]
+                            crate::tel::net_server().rejected_connections.inc();
                             drop(stream); // close immediately: over the cap
                             continue;
                         }
                         stats2.active.fetch_add(1, Ordering::Relaxed);
+                        #[cfg(feature = "telemetry")]
+                        crate::tel::net_server().active.add(1);
                         let guard = ActiveGuard(Arc::clone(&stats2));
                         let shared3 = Arc::clone(&shared2);
                         let seqs3 = Arc::clone(&seqs);
@@ -322,6 +340,8 @@ impl NetworkServer {
                                 boot_id,
                             ) {
                                 stats3.connection_errors.fetch_add(1, Ordering::Relaxed);
+                                #[cfg(feature = "telemetry")]
+                                crate::tel::net_server().connection_errors.inc();
                                 eprintln!("casper-net: closing connection {peer}: {e}");
                             }
                         });
@@ -333,18 +353,38 @@ impl NetworkServer {
                 }
             }
         });
+        // The optional plain-HTTP scrape endpoint (`curl .../metrics`):
+        // serves the process-wide registry and flight recorder, which this
+        // server records into.
+        #[cfg(feature = "telemetry")]
+        let metrics_http = match config.metrics_http {
+            Some(bind) => Some(casper_telemetry::MetricsHttp::serve_telemetry(
+                bind,
+                casper_telemetry::global(),
+            )?),
+            None => None,
+        };
         Ok(Self {
             addr,
             shared,
             stats,
             stop,
             accept_thread: Some(accept_thread),
+            #[cfg(feature = "telemetry")]
+            metrics_http,
         })
     }
 
     /// The address clients connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound address of the HTTP metrics listener, when
+    /// [`ServerConfig::metrics_http`] asked for one.
+    #[cfg(feature = "telemetry")]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_http.as_ref().map(|h| h.addr())
     }
 
     /// A snapshot of the error-accounting counters.
@@ -372,6 +412,10 @@ impl NetworkServer {
     }
 
     fn stop_and_drain(&mut self) {
+        #[cfg(feature = "telemetry")]
+        if let Some(http) = self.metrics_http.take() {
+            http.shutdown();
+        }
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
@@ -451,6 +495,8 @@ fn serve_connection(
             // Checked before any allocation: a frame advertising 4 GiB
             // must not reserve 4 GiB.
             stats.oversize_frames.fetch_add(1, Ordering::Relaxed);
+            #[cfg(feature = "telemetry")]
+            crate::tel::net_server().oversize_frames.inc();
             return Err(NetError::Protocol("frame length exceeds MAX_FRAME_LEN"));
         }
         let mut frame = vec![0u8; len];
@@ -459,16 +505,22 @@ fn serve_connection(
         }
         if crc32(&frame) != crc {
             stats.checksum_failures.fetch_add(1, Ordering::Relaxed);
+            #[cfg(feature = "telemetry")]
+            crate::tel::net_server().checksum_failures.inc();
             return Err(NetError::Protocol("frame checksum mismatch"));
         }
         let msg = match decode(Bytes::from(frame)) {
             Ok(msg) => msg,
             Err(e) => {
                 stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+                #[cfg(feature = "telemetry")]
+                crate::tel::net_server().wire_errors.inc();
                 return Err(e.into());
             }
         };
         stats.frames.fetch_add(1, Ordering::Relaxed);
+        #[cfg(feature = "telemetry")]
+        crate::tel::net_server().frames.inc();
         match msg {
             Message::CloakedUpdate {
                 handle,
@@ -487,6 +539,8 @@ fn serve_connection(
                 };
                 if stale {
                     stats.stale_updates.fetch_add(1, Ordering::Relaxed);
+                    #[cfg(feature = "telemetry")]
+                    crate::tel::net_server().stale_updates.inc();
                 } else {
                     shared
                         .write()
@@ -502,8 +556,21 @@ fn serve_connection(
                 let (list, _) = shared.read().nn_public(&region, filters);
                 write_frame(&mut stream, &encode(&Message::Candidates(list.candidates)))?;
             }
-            Message::Candidates(_) | Message::UpdateAck { .. } => {
+            Message::MetricsRequest => {
+                // The ops channel: ship the whole rendered metrics page
+                // back over the wire protocol. Without the `telemetry`
+                // feature there is no registry; answer honestly so
+                // mixed-build fleets degrade gracefully.
+                #[cfg(feature = "telemetry")]
+                let page = casper_telemetry::registry().render();
+                #[cfg(not(feature = "telemetry"))]
+                let page = String::from("# casper built without the `telemetry` feature\n");
+                write_frame(&mut stream, &encode(&Message::MetricsText(page)))?;
+            }
+            Message::Candidates(_) | Message::UpdateAck { .. } | Message::MetricsText(_) => {
                 stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                #[cfg(feature = "telemetry")]
+                crate::tel::net_server().protocol_errors.inc();
                 return Err(NetError::Protocol("client sent a server-only message"));
             }
         }
@@ -650,6 +717,8 @@ impl NetworkClient {
         self.server_boot = Some(boot_id);
         if restarted {
             self.dirty.extend(self.last_known.keys().copied());
+            #[cfg(feature = "telemetry")]
+            crate::tel::record_boot_change(self.dirty.len());
         }
         restarted
     }
@@ -664,6 +733,8 @@ impl NetworkClient {
             stream.set_write_timeout(Some(self.config.write_timeout)).ok();
             self.stream = Some(stream);
             self.stats.connects += 1;
+            #[cfg(feature = "telemetry")]
+            crate::tel::record_client_connect();
         }
         self.flush_dirty()
     }
@@ -691,6 +762,8 @@ impl NetworkClient {
                     self.note_boot(boot_id);
                     self.dirty.remove(&handle);
                     self.stats.replayed_regions += 1;
+                    #[cfg(feature = "telemetry")]
+                    crate::tel::record_client_replay();
                 }
                 Ok(_) => {
                     self.drop_stream();
@@ -731,6 +804,8 @@ impl NetworkClient {
             if attempt > 0 {
                 if attempt == 1 {
                     self.stats.retries += 1;
+                    #[cfg(feature = "telemetry")]
+                    crate::tel::record_client_retry();
                 }
                 std::thread::sleep(self.config.retry.delay_for(attempt - 1, &mut self.jitter));
             }
@@ -785,6 +860,16 @@ impl NetworkClient {
         match self.round_trip(&Message::CloakedQuery { pseudonym, region })? {
             Message::Candidates(list) => Ok(list),
             _ => Err(NetError::Protocol("expected a candidate list")),
+        }
+    }
+
+    /// Fetches the server's rendered metrics page over the wire protocol
+    /// (the in-band alternative to the HTTP listener). Retries through
+    /// disconnects like every other operation.
+    pub fn fetch_metrics(&mut self) -> Result<String, NetError> {
+        match self.round_trip(&Message::MetricsRequest)? {
+            Message::MetricsText(page) => Ok(page),
+            _ => Err(NetError::Protocol("expected a metrics page")),
         }
     }
 }
@@ -1083,6 +1168,40 @@ mod tests {
         assert_eq!(client.tracked_handles(), 2);
         client.forget(PrivateHandle(1));
         assert_eq!(client.tracked_handles(), 1);
+        server.shutdown();
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn metrics_page_served_over_wire_and_http() {
+        let server = NetworkServer::spawn_with(
+            server_with_targets(10),
+            FilterCount::Four,
+            ServerConfig {
+                metrics_http: Some(SocketAddr::from(([127, 0, 0, 1], 0))),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = NetworkClient::connect(server.addr()).unwrap();
+        client
+            .query_nn(1, Rect::from_coords(0.4, 0.4, 0.6, 0.6))
+            .unwrap();
+        // In-band: the wire-protocol metrics frame.
+        let page = client.fetch_metrics().unwrap();
+        assert!(
+            page.contains("casper_net_server_frames_total"),
+            "wire metrics page missing server counters:\n{page}"
+        );
+        // Out-of-band: the HTTP scrape endpoint.
+        let http = server.metrics_addr().expect("listener requested");
+        let mut sock = TcpStream::connect(http).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(2))).ok();
+        write!(sock, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut scraped = String::new();
+        sock.read_to_string(&mut scraped).unwrap();
+        assert!(scraped.starts_with("HTTP/1.1 200 OK"));
+        assert!(scraped.contains("casper_net_server_frames_total"));
         server.shutdown();
     }
 

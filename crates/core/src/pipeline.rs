@@ -51,6 +51,29 @@ pub struct EndToEndAnswer {
     pub candidates: usize,
     /// Component timing.
     pub breakdown: EndToEndBreakdown,
+    /// The trace id minted for this request at pipeline entry. With the
+    /// `telemetry` feature the per-stage spans of this request are
+    /// recorded in the flight recorder under this id.
+    pub trace_id: u64,
+}
+
+/// Mints a process-unique trace id for one end-to-end request.
+///
+/// Ids are minted even without the `telemetry` feature so a
+/// [`QueryOutcome::Degraded`] always carries one (logs stay correlatable
+/// across builds); with the feature they tie the request to its flight
+/// recorder entries.
+fn mint_trace_id() -> u64 {
+    #[cfg(feature = "telemetry")]
+    {
+        casper_telemetry::next_trace_id()
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    }
 }
 
 /// The assembled Casper framework.
@@ -140,6 +163,7 @@ impl<P: PyramidStructure> Casper<P> {
     /// [`Casper::query_nn`] with an explicit filter-count variant —
     /// the hook used by [`crate::FilterPolicy`]-driven deployments.
     pub fn query_nn_with(&mut self, uid: UserId, filters: FilterCount) -> Option<EndToEndAnswer> {
+        let trace_id = mint_trace_id();
         let t0 = Instant::now();
         let query = self.anonymizer.cloak_query(uid)?;
         let anonymizer_time = t0.elapsed();
@@ -151,6 +175,13 @@ impl<P: PyramidStructure> Casper<P> {
         let pos = self.anonymizer.pyramid().position_of(uid)?;
         let exact = self.client.refine_nn(pos, &list);
         self.anonymizer.resolve(query.pseudonym);
+        #[cfg(feature = "telemetry")]
+        {
+            crate::tel::record_stage(trace_id, "anonymizer", "ok", anonymizer_time);
+            crate::tel::record_stage(trace_id, "query", "ok", qstats.processing);
+            crate::tel::record_stage(trace_id, "transmission", "ok", transmission);
+            crate::tel::record_answered();
+        }
         Some(EndToEndAnswer {
             exact,
             candidates: list.len(),
@@ -159,12 +190,14 @@ impl<P: PyramidStructure> Casper<P> {
                 query: qstats.processing,
                 transmission,
             },
+            trace_id,
         })
     }
 
     /// A private NN query over *private* data ("where is my nearest
     /// buddy?"), end to end.
     pub fn query_nn_private(&mut self, uid: UserId) -> Option<EndToEndAnswer> {
+        let trace_id = mint_trace_id();
         let t0 = Instant::now();
         let query = self.anonymizer.cloak_query(uid)?;
         let anonymizer_time = t0.elapsed();
@@ -178,6 +211,13 @@ impl<P: PyramidStructure> Casper<P> {
         let pos = self.anonymizer.pyramid().position_of(uid)?;
         let exact = self.client.refine_nn_private(pos, &list);
         self.anonymizer.resolve(query.pseudonym);
+        #[cfg(feature = "telemetry")]
+        {
+            crate::tel::record_stage(trace_id, "anonymizer", "ok", anonymizer_time);
+            crate::tel::record_stage(trace_id, "query", "ok", qstats.processing);
+            crate::tel::record_stage(trace_id, "transmission", "ok", transmission);
+            crate::tel::record_answered();
+        }
         Some(EndToEndAnswer {
             exact,
             candidates: list.len(),
@@ -186,6 +226,7 @@ impl<P: PyramidStructure> Casper<P> {
                 query: qstats.processing,
                 transmission,
             },
+            trace_id,
         })
     }
 
@@ -238,6 +279,10 @@ pub enum QueryOutcome {
         pending_updates: usize,
         /// The transport error that exhausted the retry budget.
         error: NetError,
+        /// The trace id of the failed request — with the `telemetry`
+        /// feature, `casper_telemetry::flight().dump_trace(trace_id)`
+        /// reconstructs what the request went through before degrading.
+        trace_id: u64,
     },
 }
 
@@ -253,6 +298,14 @@ impl QueryOutcome {
     /// Whether the outcome is degraded.
     pub fn is_degraded(&self) -> bool {
         matches!(self, QueryOutcome::Degraded { .. })
+    }
+
+    /// The trace id minted for this request at pipeline entry.
+    pub fn trace_id(&self) -> u64 {
+        match self {
+            QueryOutcome::Answered(a) => a.trace_id,
+            QueryOutcome::Degraded { trace_id, .. } => *trace_id,
+        }
     }
 }
 
@@ -281,6 +334,8 @@ pub struct RemoteCasper<P: PyramidStructure> {
     pending: BTreeMap<u64, Rect>,
     pending_cap: usize,
     dropped_updates: u64,
+    overwritten_updates: u64,
+    pending_high_water: usize,
 }
 
 impl<P: PyramidStructure> RemoteCasper<P> {
@@ -306,6 +361,8 @@ impl<P: PyramidStructure> RemoteCasper<P> {
             pending: BTreeMap::new(),
             pending_cap: DEFAULT_PENDING_CAP,
             dropped_updates: 0,
+            overwritten_updates: 0,
+            pending_high_water: 0,
         }
     }
 
@@ -347,6 +404,8 @@ impl<P: PyramidStructure> RemoteCasper<P> {
     pub fn sign_off(&mut self, uid: UserId) {
         self.anonymizer.deregister(uid);
         self.pending.remove(&uid.0);
+        #[cfg(feature = "telemetry")]
+        crate::tel::record_pending_depth(self.pending.len());
         self.net.forget(PrivateHandle(uid.0));
     }
 
@@ -363,9 +422,21 @@ impl<P: PyramidStructure> RemoteCasper<P> {
             if let Some((&evicted, _)) = self.pending.iter().next() {
                 self.pending.remove(&evicted);
                 self.dropped_updates += 1;
+                #[cfg(feature = "telemetry")]
+                crate::tel::record_pending_drop();
             }
         }
-        self.pending.insert(uid.0, region.rect);
+        if self.pending.insert(uid.0, region.rect).is_some() {
+            // Latest-wins coalescing: a queued region for this user was
+            // replaced before it ever reached the server. Invisible in
+            // `pending.len()`, so it gets its own counter.
+            self.overwritten_updates += 1;
+            #[cfg(feature = "telemetry")]
+            crate::tel::record_pending_overwrite();
+        }
+        self.pending_high_water = self.pending_high_water.max(self.pending.len());
+        #[cfg(feature = "telemetry")]
+        crate::tel::record_pending_depth(self.pending.len());
         let _ = self.flush_pending();
     }
 
@@ -373,12 +444,19 @@ impl<P: PyramidStructure> RemoteCasper<P> {
     /// transport fails. Returns how many were flushed.
     pub fn flush_pending(&mut self) -> Result<usize, NetError> {
         let mut flushed = 0usize;
-        while let Some((&handle, &region)) = self.pending.iter().next() {
-            self.net.push_update(PrivateHandle(handle), region)?;
+        let result = loop {
+            let Some((&handle, &region)) = self.pending.iter().next() else {
+                break Ok(flushed);
+            };
+            if let Err(e) = self.net.push_update(PrivateHandle(handle), region) {
+                break Err(e);
+            }
             self.pending.remove(&handle);
             flushed += 1;
-        }
-        Ok(flushed)
+        };
+        #[cfg(feature = "telemetry")]
+        crate::tel::record_pending_depth(self.pending.len());
+        result
     }
 
     /// A private NN query over public data through the real network
@@ -386,16 +464,27 @@ impl<P: PyramidStructure> RemoteCasper<P> {
     /// yields [`QueryOutcome::Answered`], an unreachable one
     /// [`QueryOutcome::Degraded`].
     pub fn query_nn(&mut self, uid: UserId) -> Option<QueryOutcome> {
+        let trace_id = mint_trace_id();
         let t0 = Instant::now();
         let query = self.anonymizer.cloak_query(uid)?;
         let anonymizer_time = t0.elapsed();
+        #[cfg(feature = "telemetry")]
+        crate::tel::record_stage(trace_id, "anonymizer", "ok", anonymizer_time);
         // Deliver queued updates first so the query runs against current
         // state; failure means the server is unreachable → degrade.
+        #[cfg(feature = "telemetry")]
+        let t_flush = Instant::now();
         if let Err(error) = self.flush_pending() {
             self.anonymizer.resolve(query.pseudonym);
+            #[cfg(feature = "telemetry")]
+            {
+                crate::tel::record_stage(trace_id, "net_flush", "error", t_flush.elapsed());
+                crate::tel::record_degraded(trace_id, self.pending.len(), &error.to_string());
+            }
             return Some(QueryOutcome::Degraded {
                 pending_updates: self.pending.len(),
                 error,
+                trace_id,
             });
         }
         let t1 = Instant::now();
@@ -403,9 +492,15 @@ impl<P: PyramidStructure> RemoteCasper<P> {
             Ok(c) => c,
             Err(error) => {
                 self.anonymizer.resolve(query.pseudonym);
+                #[cfg(feature = "telemetry")]
+                {
+                    crate::tel::record_stage(trace_id, "query", "error", t1.elapsed());
+                    crate::tel::record_degraded(trace_id, self.pending.len(), &error.to_string());
+                }
                 return Some(QueryOutcome::Degraded {
                     pending_updates: self.pending.len(),
                     error,
+                    trace_id,
                 });
             }
         };
@@ -416,6 +511,12 @@ impl<P: PyramidStructure> RemoteCasper<P> {
         let pos = self.anonymizer.pyramid().position_of(uid)?;
         let exact = self.client.refine_nn_entries(pos, &candidates);
         self.anonymizer.resolve(query.pseudonym);
+        #[cfg(feature = "telemetry")]
+        {
+            crate::tel::record_stage(trace_id, "query", "ok", query_time);
+            crate::tel::record_stage(trace_id, "transmission", "ok", transmission);
+            crate::tel::record_answered();
+        }
         Some(QueryOutcome::Answered(EndToEndAnswer {
             exact,
             candidates: candidates.len(),
@@ -424,6 +525,7 @@ impl<P: PyramidStructure> RemoteCasper<P> {
                 query: query_time,
                 transmission,
             },
+            trace_id,
         }))
     }
 
@@ -435,6 +537,20 @@ impl<P: PyramidStructure> RemoteCasper<P> {
     /// Updates evicted from the bounded pending buffer so far.
     pub fn dropped_updates(&self) -> u64 {
         self.dropped_updates
+    }
+
+    /// Queued updates silently replaced by a newer region for the same
+    /// user before reaching the server (latest-wins coalescing). These
+    /// never show up in [`RemoteCasper::pending_updates`] — the queue
+    /// depth is unchanged by an overwrite — so they get their own
+    /// counter.
+    pub fn overwritten_updates(&self) -> u64 {
+        self.overwritten_updates
+    }
+
+    /// Highest pending-queue depth observed so far.
+    pub fn pending_high_water(&self) -> usize {
+        self.pending_high_water
     }
 
     /// Read access to the anonymizer (harnesses, tests).
@@ -588,6 +704,15 @@ mod tests {
     }
 
     #[test]
+    fn trace_ids_are_minted_and_unique() {
+        let mut c = populated_casper();
+        let a = c.query_nn(uid(0)).unwrap();
+        let b = c.query_nn_private(uid(1)).unwrap();
+        assert_ne!(a.trace_id, 0, "trace ids start at 1");
+        assert_ne!(a.trace_id, b.trace_id, "each request gets its own id");
+    }
+
+    #[test]
     fn unknown_user_query_is_none() {
         let mut c = Casper::new(BasicAnonymizer::basic(6));
         assert!(c.query_nn(uid(404)).is_none());
@@ -670,6 +795,7 @@ mod tests {
         assert_eq!(remote.pending_updates(), 10);
         let outcome = remote.query_nn(uid(0)).unwrap();
         assert!(outcome.is_degraded(), "expected Degraded: {outcome:?}");
+        assert_ne!(outcome.trace_id(), 0, "degraded outcomes carry a trace id");
         // Revive the server on the same address: the next query flushes
         // the queue and answers.
         let revived = NetworkServer::spawn_with(
@@ -720,10 +846,14 @@ mod tests {
         }
         assert_eq!(remote.pending_updates(), 5, "buffer must stay bounded");
         assert_eq!(remote.dropped_updates(), 3);
+        assert_eq!(remote.pending_high_water(), 5);
+        assert_eq!(remote.overwritten_updates(), 0);
         // Re-updating a queued user overwrites in place (latest-wins), it
-        // does not evict.
+        // does not evict — but the replaced region is counted.
         remote.move_user(uid(7), Point::new(0.9, 0.9));
         assert_eq!(remote.pending_updates(), 5);
         assert_eq!(remote.dropped_updates(), 3);
+        assert_eq!(remote.overwritten_updates(), 1);
+        assert_eq!(remote.pending_high_water(), 5);
     }
 }

@@ -112,6 +112,12 @@ impl ShardedAnonymizer {
         self
     }
 
+    /// Refreshes the telemetry gauges for one shard after a mutation.
+    #[cfg(feature = "telemetry")]
+    fn tel_shard(&self, idx: usize) {
+        crate::tel::record_shard_state(idx, self.shards[idx].user_count(), !self.offline[idx]);
+    }
+
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
@@ -178,6 +184,8 @@ impl ShardedAnonymizer {
         let lp = self.local_profile(cell, profile);
         let stats = self.shards[idx as usize].register(uid, lp, local);
         self.homes.insert(uid, (idx, profile));
+        #[cfg(feature = "telemetry")]
+        self.tel_shard(idx as usize);
         stats
     }
 
@@ -210,6 +218,11 @@ impl ShardedAnonymizer {
         let mut stats = self.shards[home as usize].deregister(uid);
         stats += self.shards[idx as usize].register(uid, lp, local);
         self.homes.insert(uid, (idx, profile));
+        #[cfg(feature = "telemetry")]
+        {
+            self.tel_shard(home as usize);
+            self.tel_shard(idx as usize);
+        }
         stats
     }
 
@@ -220,14 +233,20 @@ impl ShardedAnonymizer {
             // k-anonymous.
             self.parked.pop_front();
             self.dropped_parked += 1;
+            #[cfg(feature = "telemetry")]
+            crate::tel::record_parked_drop();
         }
         self.parked.push_back((uid, pos));
+        #[cfg(feature = "telemetry")]
+        crate::tel::record_parked(self.parked.len());
     }
 
     /// Marks a shard as failed. Its users keep getting (coarser) cloaks
     /// via coordinator escalation; updates touching it are parked.
     pub fn quarantine_shard(&mut self, idx: usize) {
         self.offline[idx] = true;
+        #[cfg(feature = "telemetry")]
+        crate::tel::record_shard_transition(idx, self.shards[idx].user_count(), false);
     }
 
     /// Brings a shard back and drains the parked queue, re-applying every
@@ -235,11 +254,15 @@ impl ShardedAnonymizer {
     /// how many parked updates were applied.
     pub fn restore_shard(&mut self, idx: usize) -> usize {
         self.offline[idx] = false;
+        #[cfg(feature = "telemetry")]
+        crate::tel::record_shard_transition(idx, self.shards[idx].user_count(), true);
         let drained: Vec<(UserId, Point)> = self.parked.drain(..).collect();
         let before = drained.len();
         for (uid, pos) in drained {
             self.update_location(uid, pos);
         }
+        #[cfg(feature = "telemetry")]
+        crate::tel::record_parked(self.parked.len());
         before - self.parked.len()
     }
 
@@ -275,7 +298,10 @@ impl ShardedAnonymizer {
         let Some((home, _)) = self.homes.remove(&uid) else {
             return MaintenanceStats::ZERO;
         };
-        self.shards[home as usize].deregister(uid)
+        let stats = self.shards[home as usize].deregister(uid);
+        #[cfg(feature = "telemetry")]
+        self.tel_shard(home as usize);
+        stats
     }
 
     /// Cloaks a registered user: local Algorithm 1 inside her shard, with

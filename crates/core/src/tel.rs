@@ -1,0 +1,337 @@
+//! Telemetry probes for the framework layer (compiled only with the
+//! `telemetry` feature).
+//!
+//! Each probe caches its registry handle in a `OnceLock`, so the hot
+//! paths (frame serving, retries, pipeline stages) pay only relaxed
+//! atomic operations after the first observation. Flight-recorder events
+//! go to [`casper_telemetry::flight`] so a degraded query, a shard
+//! quarantine, or a boot-id-change replay can be reconstructed after the
+//! fact.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use casper_telemetry::{flight, registry, Counter, Gauge, Histogram};
+
+/// One cached counter handle per call site.
+macro_rules! cached_counter {
+    ($name:literal, $help:literal) => {{
+        static H: OnceLock<Arc<Counter>> = OnceLock::new();
+        H.get_or_init(|| registry().counter($name, $help))
+    }};
+}
+
+// ---------------------------------------------------------------------
+// Pipeline stages (the Figure 17 breakdown, live).
+
+/// Records one pipeline-stage span: latency histogram plus flight event.
+pub(crate) fn record_stage(trace_id: u64, stage: &'static str, outcome: &'static str, d: Duration) {
+    stage_histogram(stage).observe_duration(d);
+    flight().record(trace_id, stage, outcome, d, "");
+}
+
+/// The per-stage latency histogram (`stage` ∈ anonymizer / query /
+/// transmission / end_to_end / net_query / net_flush).
+pub(crate) fn stage_histogram(stage: &'static str) -> Arc<Histogram> {
+    static STAGES: OnceLock<parking_lot::Mutex<Vec<(&'static str, Arc<Histogram>)>>> =
+        OnceLock::new();
+    let stages = STAGES.get_or_init(|| parking_lot::Mutex::new(Vec::new()));
+    let mut stages = stages.lock();
+    if let Some((_, h)) = stages.iter().find(|(s, _)| *s == stage) {
+        return Arc::clone(h);
+    }
+    let h = registry().histogram_with(
+        "casper_stage_latency_ns",
+        "Per-stage latency of the privacy-aware query pipeline, nanoseconds",
+        &[("stage", stage)],
+    );
+    stages.push((stage, Arc::clone(&h)));
+    h
+}
+
+/// Counts one degraded end-to-end query and leaves its trace in the
+/// flight recorder.
+pub(crate) fn record_degraded(trace_id: u64, pending: usize, error: &str) {
+    cached_counter!(
+        "casper_queries_degraded_total",
+        "End-to-end queries answered in degraded mode (transport down)"
+    )
+    .inc();
+    flight().record(
+        trace_id,
+        "pipeline",
+        "degraded",
+        Duration::ZERO,
+        format!("{pending} pending updates; {error}"),
+    );
+}
+
+/// Counts one answered end-to-end query.
+pub(crate) fn record_answered() {
+    cached_counter!(
+        "casper_queries_answered_total",
+        "End-to-end queries answered with a full candidate list"
+    )
+    .inc();
+}
+
+// ---------------------------------------------------------------------
+// RemoteCasper pending buffer (satellite 1: the latest-wins blind spot).
+
+/// Updates the pending-queue gauges after a queue mutation.
+pub(crate) fn record_pending_depth(depth: usize) {
+    static DEPTH: OnceLock<Arc<Gauge>> = OnceLock::new();
+    static HIGH: OnceLock<Arc<Gauge>> = OnceLock::new();
+    DEPTH
+        .get_or_init(|| {
+            registry().gauge(
+                "casper_pending_updates",
+                "Cloaked updates queued while the transport is down",
+            )
+        })
+        .set(depth as i64);
+    HIGH.get_or_init(|| {
+        registry().gauge(
+            "casper_pending_updates_high_water",
+            "Highest pending-update queue depth seen",
+        )
+    })
+    .max_of(depth as i64);
+}
+
+/// Counts a pending update silently replaced by a newer one for the same
+/// user (latest-wins coalescing).
+pub(crate) fn record_pending_overwrite() {
+    cached_counter!(
+        "casper_pending_overwritten_total",
+        "Queued cloaked updates replaced by a newer one for the same user before transmission"
+    )
+    .inc();
+}
+
+/// Counts a pending update evicted because the queue hit its cap.
+pub(crate) fn record_pending_drop() {
+    cached_counter!(
+        "casper_pending_dropped_total",
+        "Queued cloaked updates evicted because the pending buffer was full"
+    )
+    .inc();
+}
+
+// ---------------------------------------------------------------------
+// Network client.
+
+/// Counts a successful TCP (re)connect.
+pub(crate) fn record_client_connect() {
+    cached_counter!(
+        "casper_net_client_connects_total",
+        "Successful anonymizer-side TCP (re)connects"
+    )
+    .inc();
+}
+
+/// Counts an operation that entered the retry path.
+pub(crate) fn record_client_retry() {
+    cached_counter!(
+        "casper_net_client_retries_total",
+        "Anonymizer-side operations retried at least once"
+    )
+    .inc();
+}
+
+/// Counts one replayed cloaked region.
+pub(crate) fn record_client_replay() {
+    cached_counter!(
+        "casper_net_client_replayed_total",
+        "Cloaked regions replayed to a restarted server"
+    )
+    .inc();
+}
+
+/// Records a detected server restart (boot-id change): counter + flight
+/// event, since a replay storm is exactly what an operator wants to see
+/// in the recorder.
+pub(crate) fn record_boot_change(dirtied: usize) {
+    cached_counter!(
+        "casper_net_boot_changes_total",
+        "Server restarts detected through a boot-id change in an ack"
+    )
+    .inc();
+    flight().record(
+        0,
+        "net",
+        "replay",
+        Duration::ZERO,
+        format!("boot id changed; {dirtied} tracked regions marked for replay"),
+    );
+}
+
+// ---------------------------------------------------------------------
+// Network server (mirrors `NetStats`).
+
+/// Cached registry handles mirroring the server's [`crate::net::NetStats`]
+/// counters, incremented at the same sites.
+pub(crate) struct NetServerTel {
+    pub accepted: Arc<Counter>,
+    pub rejected_connections: Arc<Counter>,
+    pub active: Arc<Gauge>,
+    pub frames: Arc<Counter>,
+    pub oversize_frames: Arc<Counter>,
+    pub checksum_failures: Arc<Counter>,
+    pub wire_errors: Arc<Counter>,
+    pub protocol_errors: Arc<Counter>,
+    pub stale_updates: Arc<Counter>,
+    pub connection_errors: Arc<Counter>,
+}
+
+/// The process-wide server-side mirror handles.
+pub(crate) fn net_server() -> &'static NetServerTel {
+    static T: OnceLock<NetServerTel> = OnceLock::new();
+    T.get_or_init(|| {
+        let r = registry();
+        NetServerTel {
+            accepted: r.counter(
+                "casper_net_server_accepted_total",
+                "Connections accepted by the networked server",
+            ),
+            rejected_connections: r.counter(
+                "casper_net_server_rejected_total",
+                "Connections closed immediately by the connection cap",
+            ),
+            active: r.gauge(
+                "casper_net_server_active_connections",
+                "Connections currently being served",
+            ),
+            frames: r.counter(
+                "casper_net_server_frames_total",
+                "Well-formed frames served",
+            ),
+            oversize_frames: r.counter(
+                "casper_net_server_oversize_frames_total",
+                "Frames rejected for advertising a payload over the cap",
+            ),
+            checksum_failures: r.counter(
+                "casper_net_server_checksum_failures_total",
+                "Frames rejected for a CRC mismatch",
+            ),
+            wire_errors: r.counter(
+                "casper_net_server_wire_errors_total",
+                "Frames that failed to decode",
+            ),
+            protocol_errors: r.counter(
+                "casper_net_server_protocol_errors_total",
+                "Protocol violations (unexpected message kinds, ...)",
+            ),
+            stale_updates: r.counter(
+                "casper_net_server_stale_updates_total",
+                "Cloaked updates discarded as stale by sequence number",
+            ),
+            connection_errors: r.counter(
+                "casper_net_server_connection_errors_total",
+                "Connections that terminated with an error",
+            ),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Sharded anonymizer.
+
+/// Refreshes the per-shard load/online gauges.
+pub(crate) fn record_shard_state(shard: usize, users: usize, online: bool) {
+    let shard_label = shard_label(shard);
+    registry()
+        .gauge_with(
+            "casper_shard_users",
+            "Registered users per anonymizer shard",
+            &[("shard", shard_label)],
+        )
+        .set(users as i64);
+    registry()
+        .gauge_with(
+            "casper_shard_online",
+            "Shard availability (1 = serving, 0 = quarantined)",
+            &[("shard", shard_label)],
+        )
+        .set(i64::from(online));
+}
+
+/// Records a quarantine/restore transition: gauge flip + flight event.
+pub(crate) fn record_shard_transition(shard: usize, users: usize, online: bool) {
+    record_shard_state(shard, users, online);
+    cached_counter!(
+        "casper_shard_transitions_total",
+        "Shard quarantine/restore transitions"
+    )
+    .inc();
+    flight().record(
+        0,
+        "shard",
+        if online { "restore" } else { "quarantine" },
+        Duration::ZERO,
+        format!("shard {shard}, {users} users affected"),
+    );
+}
+
+/// Updates the parked-user gauge (users waiting for a shard to return).
+pub(crate) fn record_parked(parked: usize) {
+    static G: OnceLock<Arc<Gauge>> = OnceLock::new();
+    G.get_or_init(|| {
+        registry().gauge(
+            "casper_shard_parked_users",
+            "User updates parked while their home shard is quarantined",
+        )
+    })
+    .set(parked as i64);
+}
+
+/// Counts a parked update dropped because the parking buffer was full.
+pub(crate) fn record_parked_drop() {
+    cached_counter!(
+        "casper_shard_parked_dropped_total",
+        "Parked user updates evicted because the parking buffer was full"
+    )
+    .inc();
+}
+
+/// Leak-free label strings for small shard indexes ("0".."63" are
+/// interned statically; larger fleets get a leaked string once per shard,
+/// bounded by the shard count).
+fn shard_label(shard: usize) -> &'static str {
+    const SMALL: [&str; 64] = [
+        "0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15",
+        "16", "17", "18", "19", "20", "21", "22", "23", "24", "25", "26", "27", "28", "29", "30",
+        "31", "32", "33", "34", "35", "36", "37", "38", "39", "40", "41", "42", "43", "44", "45",
+        "46", "47", "48", "49", "50", "51", "52", "53", "54", "55", "56", "57", "58", "59", "60",
+        "61", "62", "63",
+    ];
+    if shard < SMALL.len() {
+        SMALL[shard]
+    } else {
+        Box::leak(shard.to_string().into_boxed_str())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection.
+
+/// Counts one injected fault of the given kind
+/// (`casper_chaos_injected_total{kind=...}`).
+#[cfg(feature = "faults")]
+pub(crate) fn record_injected_fault(kind: &'static str) {
+    static KINDS: OnceLock<parking_lot::Mutex<Vec<(&'static str, Arc<Counter>)>>> =
+        OnceLock::new();
+    let kinds = KINDS.get_or_init(|| parking_lot::Mutex::new(Vec::new()));
+    let mut kinds = kinds.lock();
+    if let Some((_, c)) = kinds.iter().find(|(k, _)| *k == kind) {
+        c.inc();
+        return;
+    }
+    let c = registry().counter_with(
+        "casper_chaos_injected_total",
+        "Faults injected by the chaos proxy, by kind",
+        &[("kind", kind)],
+    );
+    c.inc();
+    kinds.push((kind, c));
+}

@@ -32,6 +32,12 @@ const TAG_UPDATE: u8 = 1;
 const TAG_QUERY: u8 = 2;
 const TAG_CANDIDATE: u8 = 3;
 const TAG_ACK: u8 = 4;
+const TAG_METRICS_REQ: u8 = 5;
+
+/// Marker distinguishing a [`Message::MetricsText`] payload from a
+/// candidate-list count prefix. Record tags are small and candidate counts
+/// are bounded by the frame length, so neither can collide with it.
+const METRICS_MAGIC: u32 = 0xFFFF_FFFF;
 
 /// Messages exchanged between the anonymizer and the server.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +62,12 @@ pub enum Message {
     },
     /// The candidate list shipped back to the client.
     Candidates(Vec<Entry>),
+    /// Asks the server for its rendered metrics page (operations channel;
+    /// carries no location data).
+    MetricsRequest,
+    /// The server's metrics page in the Prometheus text exposition format,
+    /// answering a [`Message::MetricsRequest`].
+    MetricsText(String),
     /// Acknowledgement of a [`Message::CloakedUpdate`].
     UpdateAck {
         /// The server instance's boot identifier. A client seeing this
@@ -153,6 +165,20 @@ pub fn encode(msg: &Message) -> Bytes {
         Message::UpdateAck { boot_id, seq } => {
             put_record(&mut buf, TAG_ACK, *boot_id, &Rect::unit(), *seq);
         }
+        Message::MetricsRequest => {
+            put_record(&mut buf, TAG_METRICS_REQ, 0, &Rect::unit(), 0);
+        }
+        Message::MetricsText(text) => {
+            buf.put_u32(METRICS_MAGIC);
+            buf.put_u32(text.len() as u32);
+            buf.put_slice(text.as_bytes());
+            // A 56-byte page would make the whole frame exactly one record
+            // long and collide with the single-record decode path; one pad
+            // byte breaks the tie (the decoder reads only `len` bytes).
+            if buf.len() == RECORD_BYTES {
+                buf.put_u8(0);
+            }
+        }
     }
     buf.freeze()
 }
@@ -162,6 +188,18 @@ pub fn encode(msg: &Message) -> Bytes {
 /// this decoder sniffs: buffers whose length is a multiple of 64 decode as
 /// a single record, others as candidate lists.
 pub fn decode(mut bytes: Bytes) -> Result<Message, WireError> {
+    // Metrics pages carry a magic prefix no other frame can start with:
+    // record frames begin with a small tag byte and candidate-list counts
+    // are bounded by the frame length, far below the all-ones marker.
+    if bytes.len() >= 8 && (&bytes[0..4] == METRICS_MAGIC.to_be_bytes().as_slice()) {
+        bytes.advance(4);
+        let len = bytes.get_u32() as usize;
+        if len > bytes.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let text = String::from_utf8_lossy(&bytes[..len]).into_owned();
+        return Ok(Message::MetricsText(text));
+    }
     if bytes.len() == RECORD_BYTES {
         let (tag, id, rect, seq) = get_record(&mut bytes)?;
         return match tag {
@@ -175,6 +213,7 @@ pub fn decode(mut bytes: Bytes) -> Result<Message, WireError> {
                 region: rect,
             }),
             TAG_ACK => Ok(Message::UpdateAck { boot_id: id, seq }),
+            TAG_METRICS_REQ => Ok(Message::MetricsRequest),
             t => Err(WireError::BadTag(t)),
         };
     }
@@ -205,8 +244,12 @@ pub fn record_count(msg: &Message) -> usize {
     match msg {
         Message::CloakedUpdate { .. }
         | Message::CloakedQuery { .. }
-        | Message::UpdateAck { .. } => 1,
+        | Message::UpdateAck { .. }
+        | Message::MetricsRequest => 1,
         Message::Candidates(entries) => entries.len(),
+        // Metrics pages are free-form text on the ops channel; bill them
+        // as the number of records their bytes would occupy.
+        Message::MetricsText(text) => (8 + text.len()).div_ceil(RECORD_BYTES),
     }
 }
 
@@ -302,6 +345,36 @@ mod tests {
         );
         let entries: Vec<Entry> = (0..5).map(|i| Entry::new(ObjectId(i), rect())).collect();
         assert_eq!(record_count(&Message::Candidates(entries)), 5);
+    }
+
+    #[test]
+    fn metrics_request_round_trips() {
+        let msg = Message::MetricsRequest;
+        let bytes = encode(&msg);
+        assert_eq!(bytes.len(), RECORD_BYTES);
+        assert_eq!(decode(bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn metrics_text_round_trips() {
+        for len in [0usize, 1, 55, 56, 57, 64, 1000] {
+            let text: String = "x".repeat(len);
+            let msg = Message::MetricsText(text);
+            let bytes = encode(&msg);
+            // Never exactly one record long: that shape is reserved for
+            // single-record frames.
+            assert_ne!(bytes.len(), RECORD_BYTES, "len {len}");
+            assert_eq!(decode(bytes).unwrap(), msg, "len {len}");
+        }
+    }
+
+    #[test]
+    fn metrics_text_truncated_length_errors() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(super::METRICS_MAGIC);
+        buf.put_u32(100); // advertises more bytes than present
+        buf.put_bytes(b'x', 10);
+        assert_eq!(decode(buf.freeze()), Err(WireError::Truncated));
     }
 
     #[test]

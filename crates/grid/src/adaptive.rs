@@ -503,6 +503,7 @@ impl PyramidStructure for AdaptivePyramid {
         self.leaf_add(leaf, uid, profile, pos);
         stats.hash_updates += 1;
         self.try_split(leaf, &mut stats);
+        stats.record();
         stats
     }
 
@@ -527,6 +528,7 @@ impl PyramidStructure for AdaptivePyramid {
                 self.leaf_add(old_leaf, uid, profile, pos);
                 self.try_split(old_leaf, &mut stats);
             }
+            stats.record();
             return stats;
         }
         // Cross-cell move: adjust both counter chains below the LCA.
@@ -547,6 +549,7 @@ impl PyramidStructure for AdaptivePyramid {
         // The split target may have been merged away; recompute the leaf.
         let target = self.leaf_for(pos);
         self.try_split(target, &mut stats);
+        stats.record();
         stats
     }
 
@@ -569,6 +572,7 @@ impl PyramidStructure for AdaptivePyramid {
         self.try_split(cid, &mut stats);
         let leaf_now = self.leaf_for(pos);
         self.try_merge(leaf_now, &mut stats);
+        stats.record();
         stats
     }
 
@@ -582,6 +586,7 @@ impl PyramidStructure for AdaptivePyramid {
         self.users.remove(&uid);
         stats.hash_updates += 1;
         self.try_merge(cid, &mut stats);
+        stats.record();
         stats
     }
 

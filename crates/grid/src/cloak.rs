@@ -71,7 +71,10 @@ impl CloakedRegion {
 /// the total space (the registration-time preconditions stated above
 /// Algorithm 1); otherwise the root region is returned as the best effort.
 pub fn bottom_up_cloak<S: CellStore>(store: &S, profile: Profile, start: CellId) -> CloakedRegion {
-    bottom_up_cloak_impl(store, profile, start, true)
+    let region = bottom_up_cloak_impl(store, profile, start, true);
+    #[cfg(feature = "telemetry")]
+    crate::tel::record_cloak(&region);
+    region
 }
 
 /// Ablation variant of Algorithm 1 that skips the neighbour-combination
@@ -85,7 +88,10 @@ pub fn bottom_up_cloak_cells_only<S: CellStore>(
     profile: Profile,
     start: CellId,
 ) -> CloakedRegion {
-    bottom_up_cloak_impl(store, profile, start, false)
+    let region = bottom_up_cloak_impl(store, profile, start, false);
+    #[cfg(feature = "telemetry")]
+    crate::tel::record_cloak(&region);
+    region
 }
 
 fn bottom_up_cloak_impl<S: CellStore>(

@@ -157,11 +157,13 @@ impl PyramidStructure for CompletePyramid {
         let cid = CellId::at(self.lowest_level(), pos);
         let counter_updates = self.add_along_path(cid, 1, None);
         self.users.insert(uid, UserEntry { profile, pos, cid });
-        MaintenanceStats {
+        let stats = MaintenanceStats {
             counter_updates,
             hash_updates: 1,
             ..MaintenanceStats::ZERO
-        }
+        };
+        stats.record();
+        stats
     }
 
     fn update_location(&mut self, uid: UserId, pos: Point) -> MaintenanceStats {
@@ -188,20 +190,24 @@ impl PyramidStructure for CompletePyramid {
         let lca = a;
         let dec = self.add_along_path(old, -1, Some(lca));
         let inc = self.add_along_path(new, 1, Some(lca));
-        MaintenanceStats {
+        let stats = MaintenanceStats {
             counter_updates: dec + inc,
             hash_updates: 1,
             ..MaintenanceStats::ZERO
-        }
+        };
+        stats.record();
+        stats
     }
 
     fn update_profile(&mut self, uid: UserId, profile: Profile) -> MaintenanceStats {
         if let Some(entry) = self.users.get_mut(&uid) {
             entry.profile = profile;
-            MaintenanceStats {
+            let stats = MaintenanceStats {
                 hash_updates: 1,
                 ..MaintenanceStats::ZERO
-            }
+            };
+            stats.record();
+            stats
         } else {
             MaintenanceStats::ZERO
         }
@@ -212,11 +218,13 @@ impl PyramidStructure for CompletePyramid {
             return MaintenanceStats::ZERO;
         };
         let counter_updates = self.add_along_path(entry.cid, -1, None);
-        MaintenanceStats {
+        let stats = MaintenanceStats {
             counter_updates,
             hash_updates: 1,
             ..MaintenanceStats::ZERO
-        }
+        };
+        stats.record();
+        stats
     }
 
     fn cloak_user(&self, uid: UserId) -> Option<CloakedRegion> {

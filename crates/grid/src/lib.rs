@@ -28,6 +28,8 @@ pub mod hash;
 mod profile;
 pub mod render;
 mod stats;
+#[cfg(feature = "telemetry")]
+mod tel;
 
 pub use adaptive::AdaptivePyramid;
 pub use cell::CellId;

@@ -40,6 +40,16 @@ impl MaintenanceStats {
     pub fn total(&self) -> u64 {
         self.counter_updates + self.hash_updates + self.cells_created + self.cells_removed
     }
+
+    /// Folds these costs into the process-wide telemetry registry
+    /// (`casper_grid_*_total` counters). No-op without the `telemetry`
+    /// feature. Called by the pyramid structures after every maintenance
+    /// operation, so the continuously-running system exposes the same
+    /// update-cost signal the figures measure offline.
+    pub fn record(&self) {
+        #[cfg(feature = "telemetry")]
+        crate::tel::record_maintenance(self);
+    }
 }
 
 impl std::ops::Add for MaintenanceStats {

@@ -35,6 +35,8 @@ mod filter;
 mod knn;
 mod nn;
 mod range;
+#[cfg(feature = "telemetry")]
+mod tel;
 
 pub use aggregate::{DensityGrid, DensityTimeline};
 pub use extend::{extended_area_private, extended_area_public, PrivateBoundMode};

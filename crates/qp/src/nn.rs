@@ -39,6 +39,8 @@ pub fn private_nn_public_data<I: SpatialIndex>(
     filters: FilterCount,
 ) -> CandidateList {
     let Some(vf) = assign_filters_public(index, region, filters) else {
+        #[cfg(feature = "telemetry")]
+        crate::tel::record_candidates_public(0);
         return CandidateList {
             candidates: Vec::new(),
             a_ext: *region,
@@ -53,6 +55,8 @@ pub fn private_nn_public_data<I: SpatialIndex>(
             .all(|f| candidates.iter().any(|c| c.id == f.id)),
         "filters lie within their own bounding circles, so A_EXT must contain them"
     );
+    #[cfg(feature = "telemetry")]
+    crate::tel::record_candidates_public(candidates.len());
     CandidateList {
         candidates,
         a_ext,
@@ -76,6 +80,8 @@ pub fn private_nn_private_data<I: SpatialIndex>(
     min_overlap: f64,
 ) -> CandidateList {
     let Some(vf) = assign_filters_private(index, region, filters) else {
+        #[cfg(feature = "telemetry")]
+        crate::tel::record_candidates_private(0);
         return CandidateList {
             candidates: Vec::new(),
             a_ext: *region,
@@ -87,6 +93,8 @@ pub fn private_nn_private_data<I: SpatialIndex>(
     if min_overlap > 0.0 {
         candidates.retain(|e| e.mbr.overlap_fraction(&a_ext) >= min_overlap);
     }
+    #[cfg(feature = "telemetry")]
+    crate::tel::record_candidates_private(candidates.len());
     CandidateList {
         candidates,
         a_ext,

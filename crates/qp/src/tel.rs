@@ -1,0 +1,32 @@
+//! Telemetry probes for the query processor (compiled only with the
+//! `telemetry` feature).
+
+use std::sync::{Arc, OnceLock};
+
+use casper_telemetry::{registry, Histogram};
+
+/// Records the size of a candidate list produced for public target data.
+pub(crate) fn record_candidates_public(len: usize) {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        registry().histogram_with(
+            "casper_qp_candidates",
+            "Candidate-list sizes returned by the privacy-aware query processor",
+            &[("data", "public")],
+        )
+    })
+    .observe(len as u64);
+}
+
+/// Records the size of a candidate list produced for private target data.
+pub(crate) fn record_candidates_private(len: usize) {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        registry().histogram_with(
+            "casper_qp_candidates",
+            "Candidate-list sizes returned by the privacy-aware query processor",
+            &[("data", "private")],
+        )
+    })
+    .observe(len as u64);
+}

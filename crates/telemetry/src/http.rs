@@ -1,0 +1,163 @@
+//! A tiny optional HTTP/1.1 metrics listener.
+//!
+//! One blocking accept thread, one short-lived thread per request, no
+//! routing beyond two paths: `/metrics` (or anything else) serves the
+//! Prometheus text page, `/flight` serves the flight-recorder dump. The
+//! handler closures are supplied by the caller so the listener has no
+//! opinion about *which* registry it exposes.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Renders a page for a request path.
+pub type PageFn = dyn Fn(&str) -> String + Send + Sync;
+
+/// A minimal HTTP listener serving text pages.
+pub struct MetricsHttp {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsHttp {
+    /// Starts serving on `bind` (use port 0 for an OS-assigned port).
+    /// `page` receives the request path and returns the response body.
+    pub fn spawn(bind: SocketAddr, page: Arc<PageFn>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let page = Arc::clone(&page);
+                        std::thread::spawn(move || serve_one(stream, &*page));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(Self {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Serves `/metrics` from `registry` and `/flight` from `flight` — the
+    /// standard wiring for [`crate::Telemetry`].
+    pub fn serve_telemetry(bind: SocketAddr, tel: &'static crate::Telemetry) -> std::io::Result<Self> {
+        Self::spawn(
+            bind,
+            Arc::new(move |path: &str| {
+                if path.starts_with("/flight") {
+                    tel.flight.render()
+                } else {
+                    tel.registry.render()
+                }
+            }),
+        )
+    }
+
+    /// The bound address (`curl http://<addr>/metrics`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn stop_now(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stops accepting and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_now();
+    }
+}
+
+impl Drop for MetricsHttp {
+    fn drop(&mut self) {
+        self.stop_now();
+    }
+}
+
+fn serve_one(mut stream: TcpStream, page: &PageFn) {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .ok();
+    stream
+        .set_write_timeout(Some(Duration::from_secs(2)))
+        .ok();
+    // Read until the end of the request head (or timeout); only the
+    // request line matters.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 256];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/metrics")
+        .to_string();
+    let body = page(&path);
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        s.flush().unwrap();
+        let mut out = String::new();
+        s.set_read_timeout(Some(Duration::from_secs(2))).ok();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_pages_by_path() {
+        let server = MetricsHttp::spawn(
+            ([127, 0, 0, 1], 0).into(),
+            Arc::new(|path: &str| format!("page for {path}\n")),
+        )
+        .unwrap();
+        let metrics = http_get(server.addr(), "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"));
+        assert!(metrics.contains("page for /metrics"));
+        let flight = http_get(server.addr(), "/flight");
+        assert!(flight.contains("page for /flight"));
+        server.shutdown();
+    }
+}

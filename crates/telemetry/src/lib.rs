@@ -1,0 +1,66 @@
+//! Unified telemetry for the Casper stack: a lock-free metrics registry,
+//! lightweight pipeline tracing, and an in-memory flight recorder.
+//!
+//! The paper's evaluation is entirely metric-driven — cloaking time,
+//! maintenance cost, candidate-list size, the Figure 17 per-component
+//! breakdown — and a production deployment needs those same signals
+//! *continuously*, not just in offline figure runs. This crate is the one
+//! place they all land:
+//!
+//! * [`Registry`] — named [`Counter`]s, [`Gauge`]s, and log-bucketed
+//!   [`Histogram`]s (p50/p95/p99 queries), rendered as a Prometheus text
+//!   page by [`Registry::render`] and as a `BENCH_*.json`-compatible blob
+//!   by [`Registry::snapshot_json`]. Record paths are pure relaxed
+//!   atomics.
+//! * [`FlightRecorder`] — a bounded ring buffer of [`TraceEvent`]s (trace
+//!   id, stage, duration, outcome) dumped after a degraded query, shard
+//!   quarantine, or boot-id-change replay.
+//! * [`MetricsHttp`] — a tiny optional HTTP listener serving `/metrics`
+//!   and `/flight`.
+//!
+//! Every other crate instruments itself behind a default-on `telemetry`
+//! cargo feature that gates its dependency on this crate, so
+//! `--no-default-features` builds carry zero telemetry code.
+//!
+//! The process-wide instances live behind [`global`]; libraries use the
+//! [`registry`] / [`flight`] shortcuts so all components aggregate into
+//! one page.
+
+#![warn(missing_docs)]
+
+mod http;
+mod metrics;
+mod registry;
+mod trace;
+
+pub use http::{MetricsHttp, PageFn};
+pub use metrics::{bucket_bounds, bucket_index, Counter, Gauge, Histogram, NUM_BUCKETS};
+pub use registry::Registry;
+pub use trace::{next_trace_id, FlightRecorder, TraceEvent, DEFAULT_FLIGHT_CAPACITY};
+
+use std::sync::OnceLock;
+
+/// The process-wide telemetry sinks: one registry, one flight recorder.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// The metrics registry every instrumented crate records into.
+    pub registry: Registry,
+    /// The flight recorder every traced stage records into.
+    pub flight: FlightRecorder,
+}
+
+/// The process-wide [`Telemetry`] instance (created on first use).
+pub fn global() -> &'static Telemetry {
+    static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+    GLOBAL.get_or_init(Telemetry::default)
+}
+
+/// Shortcut for `&global().registry`.
+pub fn registry() -> &'static Registry {
+    &global().registry
+}
+
+/// Shortcut for `&global().flight`.
+pub fn flight() -> &'static FlightRecorder {
+    &global().flight
+}

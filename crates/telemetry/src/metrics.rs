@@ -1,0 +1,237 @@
+//! The metric primitives: atomic counters, gauges, and log-bucketed
+//! histograms.
+//!
+//! Everything on the record path is a relaxed atomic operation — no locks,
+//! no allocation — so instrumenting a hot loop (cloaking, frame serving)
+//! costs a handful of nanoseconds. Reads (quantiles, exposition) walk the
+//! same atomics and may observe a torn-but-monotone view, which is fine
+//! for monitoring.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value that can go up and down (queue depths, shard
+/// populations, online flags).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if it is currently lower (high-water
+    /// marks).
+    pub fn max_of(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets (see [`bucket_index`]).
+pub const NUM_BUCKETS: usize = 252;
+
+/// Maps a value to its bucket: values below 4 get exact buckets, larger
+/// values land in one of four log-spaced sub-buckets per power of two
+/// (relative bucket width ≤ 25%). Buckets are contiguous and ordered.
+pub fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros() as usize; // e >= 2
+    let sub = ((v >> (e - 2)) & 3) as usize;
+    4 * e + sub - 4
+}
+
+/// Inclusive `(lower, upper)` value bounds of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < 4 {
+        return (i as u64, i as u64);
+    }
+    let e = (i + 4) / 4;
+    let s = ((i + 4) % 4) as u64;
+    let width = 1u64 << (e - 2);
+    let lower = (4 + s) << (e - 2);
+    (lower, lower.saturating_add(width - 1))
+}
+
+/// A lock-free, log-bucketed histogram over `u64` values.
+///
+/// Records are two relaxed `fetch_add`s plus a store; quantile queries
+/// walk the 252 buckets and return the *upper bound* of the bucket the
+/// requested rank falls in (conservative for latencies, error ≤ 25%).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duration in integer nanoseconds.
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// holding that rank; `0` on an empty histogram. Monotone in `q` by
+    /// construction.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        // A racing writer bumped `count` before its bucket: report the
+        // highest non-empty bucket.
+        for i in (0..NUM_BUCKETS).rev() {
+            if self.buckets[i].load(Ordering::Relaxed) > 0 {
+                return bucket_bounds(i).1;
+            }
+        }
+        0
+    }
+
+    /// `(p50, p95, p99)` in one call — the exposition's summary triple.
+    pub fn summary(&self) -> (u64, u64, u64) {
+        (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+        g.max_of(10);
+        g.max_of(2);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_cover_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(3), 3);
+        assert_eq!(bucket_index(4), 4);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        for i in 0..NUM_BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(i);
+            let (lo_next, _) = bucket_bounds(i + 1);
+            assert_eq!(hi + 1, lo_next, "gap between buckets {i} and {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn quantiles_on_known_data() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        let (p50, p95, p99) = h.summary();
+        // Upper-bound semantics: within 25% above the true quantile.
+        assert!((50..=63).contains(&p50), "p50 = {p50}");
+        assert!((95..=119).contains(&p95), "p95 = {p95}");
+        assert!((99..=127).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(0.0), 1);
+        assert!(h.quantile(1.0) >= 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+    }
+}

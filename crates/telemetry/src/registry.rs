@@ -1,0 +1,324 @@
+//! The metrics registry: named metrics with labels, Prometheus-text
+//! exposition, and a JSON snapshot for the bench harness.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// Label set: sorted `(key, value)` pairs.
+pub type Labels = Vec<(String, String)>;
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Labels,
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "summary",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    metrics: BTreeMap<MetricKey, Metric>,
+    help: BTreeMap<String, &'static str>,
+}
+
+/// A collection of named metrics.
+///
+/// Registration (first lookup of a name/label combination) takes a write
+/// lock; callers cache the returned `Arc` handle so the record path is
+/// pure atomics. Looking up an existing metric takes a read lock.
+///
+/// Most code uses the process-wide registry via
+/// [`crate::registry()`]; tests construct private instances.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: RwLock<Inner>,
+}
+
+fn make_key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+    let mut labels: Labels = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    labels.sort();
+    MetricKey {
+        name: name.to_string(),
+        labels,
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert<T, F: FnOnce() -> Metric, G: Fn(&Metric) -> Option<Arc<T>>>(
+        &self,
+        key: MetricKey,
+        help: &'static str,
+        make: F,
+        cast: G,
+    ) -> Arc<T> {
+        if let Some(m) = self.inner.read().unwrap().metrics.get(&key) {
+            return cast(m).unwrap_or_else(|| {
+                panic!(
+                    "metric `{}` already registered as a {}",
+                    key.name,
+                    m.type_name()
+                )
+            });
+        }
+        let mut inner = self.inner.write().unwrap();
+        inner.help.entry(key.name.clone()).or_insert(help);
+        let m = inner.metrics.entry(key).or_insert_with(make);
+        let name = match m {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "summary",
+        };
+        cast(m).unwrap_or_else(|| panic!("metric already registered as a {name}"))
+    }
+
+    /// The counter named `name` (no labels), registering it on first use.
+    pub fn counter(&self, name: &str, help: &'static str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// The counter named `name` with the given labels.
+    pub fn counter_with(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.get_or_insert(
+            make_key(name, labels),
+            help,
+            || Metric::Counter(Arc::new(Counter::new())),
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// The gauge named `name` (no labels), registering it on first use.
+    pub fn gauge(&self, name: &str, help: &'static str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// The gauge named `name` with the given labels.
+    pub fn gauge_with(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.get_or_insert(
+            make_key(name, labels),
+            help,
+            || Metric::Gauge(Arc::new(Gauge::new())),
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// The histogram named `name` (no labels), registering it on first
+    /// use.
+    pub fn histogram(&self, name: &str, help: &'static str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// The histogram named `name` with the given labels.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        self.get_or_insert(
+            make_key(name, labels),
+            help,
+            || Metric::Histogram(Arc::new(Histogram::new())),
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Renders every metric in the Prometheus text exposition format
+    /// (histograms as summaries with p50/p95/p99 quantiles).
+    pub fn render(&self) -> String {
+        let inner = self.inner.read().unwrap();
+        let mut out = String::new();
+        let mut last_name = "";
+        for (key, metric) in &inner.metrics {
+            if key.name != last_name {
+                let help = inner.help.get(&key.name).copied().unwrap_or("");
+                out.push_str(&format!("# HELP {} {}\n", key.name, help));
+                out.push_str(&format!("# TYPE {} {}\n", key.name, metric.type_name()));
+                last_name = &key.name;
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        key.name,
+                        label_str(&key.labels, None),
+                        c.get()
+                    ));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        key.name,
+                        label_str(&key.labels, None),
+                        g.get()
+                    ));
+                }
+                Metric::Histogram(h) => {
+                    let (p50, p95, p99) = h.summary();
+                    for (q, v) in [("0.5", p50), ("0.95", p95), ("0.99", p99)] {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            key.name,
+                            label_str(&key.labels, Some(q)),
+                            v
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        key.name,
+                        label_str(&key.labels, None),
+                        h.sum()
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        key.name,
+                        label_str(&key.labels, None),
+                        h.count()
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Serialises every metric as a JSON object — the
+    /// `BENCH_*.json`-compatible blob the bench harness writes after each
+    /// figure run. Histograms appear as `{count, sum, p50, p95, p99}`.
+    pub fn snapshot_json(&self) -> String {
+        let inner = self.inner.read().unwrap();
+        let mut parts = Vec::new();
+        for (key, metric) in &inner.metrics {
+            let id = json_escape(&format!(
+                "{}{}",
+                key.name,
+                label_str(&key.labels, None)
+            ));
+            match metric {
+                Metric::Counter(c) => parts.push(format!("\"{id}\": {}", c.get())),
+                Metric::Gauge(g) => parts.push(format!("\"{id}\": {}", g.get())),
+                Metric::Histogram(h) => {
+                    let (p50, p95, p99) = h.summary();
+                    parts.push(format!(
+                        "\"{id}\": {{\"count\": {}, \"sum\": {}, \"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}}",
+                        h.count(),
+                        h.sum()
+                    ));
+                }
+            }
+        }
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a `{k="v",...}` label block, optionally with a `quantile`
+/// label appended; empty string when there are no labels at all.
+fn label_str(labels: &Labels, quantile: Option<&str>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('"', "\\\"")))
+        .collect();
+    if let Some(q) = quantile {
+        pairs.push(format!("quantile=\"{q}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("requests_total", "requests");
+        let b = r.counter("requests_total", "requests");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn labels_distinguish_series() {
+        let r = Registry::new();
+        let a = r.gauge_with("load", "shard load", &[("shard", "0")]);
+        let b = r.gauge_with("load", "shard load", &[("shard", "1")]);
+        a.set(10);
+        b.set(20);
+        assert_eq!(a.get(), 10);
+        assert_eq!(b.get(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_conflict_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x", "");
+        let _ = r.gauge("x", "");
+    }
+
+    #[test]
+    fn render_includes_all_series() {
+        let r = Registry::new();
+        r.counter("a_total", "as").add(3);
+        r.gauge_with("b", "bs", &[("shard", "2")]).set(-1);
+        r.histogram("lat_ns", "latency").observe(100);
+        let text = r.render();
+        assert!(text.contains("a_total 3"));
+        assert!(text.contains("b{shard=\"2\"} -1"));
+        assert!(text.contains("lat_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("lat_ns_count 1"));
+    }
+
+    #[test]
+    fn snapshot_json_is_parseable_shape() {
+        let r = Registry::new();
+        r.counter("a_total", "").add(3);
+        r.histogram("h", "").observe(5);
+        let json = r.snapshot_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a_total\": 3"));
+        assert!(json.contains("\"count\": 1"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Lightweight pipeline tracing: trace ids, span records, and the flight
+//! recorder.
+//!
+//! A *trace id* is minted once per end-to-end request at the
+//! `Casper`/`RemoteCasper` entry point and carried through cloak → query →
+//! transmission. Each stage records a [`TraceEvent`] (stage, duration,
+//! outcome) into the in-memory ring-buffer **flight recorder**, whose last
+//! N events can be dumped when something goes wrong — a degraded query, a
+//! shard quarantine, a boot-id-change replay — giving an operator the
+//! request's recent history without any always-on log volume.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Process-wide trace-id mint (monotone, never zero).
+pub fn next_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One recorded span or event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Monotone event sequence number (assigned by the recorder).
+    pub seq: u64,
+    /// The request's trace id (`0` for events outside any request, e.g. a
+    /// shard quarantine).
+    pub trace_id: u64,
+    /// Pipeline stage or subsystem (`"anonymizer"`, `"query"`,
+    /// `"transmission"`, `"net"`, `"shard"`, ...).
+    pub stage: &'static str,
+    /// How the stage ended (`"ok"`, `"degraded"`, `"replay"`,
+    /// `"quarantine"`, ...).
+    pub outcome: &'static str,
+    /// Stage duration (zero for instantaneous events).
+    pub duration: Duration,
+    /// Free-form context (error text, shard index, ...).
+    pub detail: String,
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "#{:<6} trace={:<8} {:<14} {:<10} {:>10.1}us  {}",
+            self.seq,
+            self.trace_id,
+            self.stage,
+            self.outcome,
+            self.duration.as_secs_f64() * 1e6,
+            self.detail
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct RecorderInner {
+    ring: VecDeque<TraceEvent>,
+    next_seq: u64,
+}
+
+/// Default flight-recorder capacity.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 512;
+
+/// A bounded in-memory ring buffer of the most recent [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    inner: Mutex<RecorderInner>,
+    capacity: usize,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping the last `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(RecorderInner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records an event, evicting the oldest when full. The event's `seq`
+    /// is assigned here.
+    pub fn record(
+        &self,
+        trace_id: u64,
+        stage: &'static str,
+        outcome: &'static str,
+        duration: Duration,
+        detail: impl Into<String>,
+    ) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.next_seq += 1;
+        let seq = inner.next_seq;
+        if inner.ring.len() >= self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(TraceEvent {
+            seq,
+            trace_id,
+            stage,
+            outcome,
+            duration,
+            detail: detail.into(),
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn dump(&self) -> Vec<TraceEvent> {
+        self.inner.lock().unwrap().ring.iter().cloned().collect()
+    }
+
+    /// The retained events for one trace id, oldest first.
+    pub fn dump_trace(&self, trace_id: u64) -> Vec<TraceEvent> {
+        self.inner
+            .lock()
+            .unwrap()
+            .ring
+            .iter()
+            .filter(|e| e.trace_id == trace_id)
+            .cloned()
+            .collect()
+    }
+
+    /// A human-readable dump of the retained events.
+    pub fn render(&self) -> String {
+        let events = self.dump();
+        let mut out = String::from("--- flight recorder dump (oldest first) ---\n");
+        for e in &events {
+            out.push_str(&format!("{e}\n"));
+        }
+        out.push_str(&format!("--- {} events ---\n", events.len()));
+        out
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().ring.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let fr = FlightRecorder::with_capacity(3);
+        for i in 0..5u64 {
+            fr.record(i, "stage", "ok", Duration::ZERO, format!("event {i}"));
+        }
+        let dump = fr.dump();
+        assert_eq!(dump.len(), 3);
+        // Oldest two evicted; seq strictly increasing.
+        assert_eq!(dump[0].trace_id, 2);
+        assert!(dump.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn dump_trace_filters() {
+        let fr = FlightRecorder::default();
+        fr.record(7, "anonymizer", "ok", Duration::from_micros(3), "");
+        fr.record(8, "query", "ok", Duration::ZERO, "");
+        fr.record(7, "query", "degraded", Duration::ZERO, "io: timeout");
+        let t7 = fr.dump_trace(7);
+        assert_eq!(t7.len(), 2);
+        assert!(t7.iter().all(|e| e.trace_id == 7));
+        assert!(fr.render().contains("degraded"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property, concurrency, and exposition tests for the telemetry
+//! registry: bucket boundaries cover `u64` without gaps, quantiles are
+//! monotone with bounded error, concurrent recording loses nothing, and
+//! the Prometheus exposition is byte-stable.
+
+use std::sync::Arc;
+use std::thread;
+
+use casper_telemetry::{bucket_bounds, bucket_index, Histogram, Registry, NUM_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn every_value_lands_inside_its_bucket(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "value {} outside bucket {} = [{}, {}]", v, i, lo, hi);
+    }
+
+    #[test]
+    fn buckets_are_contiguous(i in 0usize..NUM_BUCKETS - 1) {
+        let (_, hi) = bucket_bounds(i);
+        let (lo_next, _) = bucket_bounds(i + 1);
+        prop_assert_eq!(hi + 1, lo_next, "gap or overlap after bucket {}", i);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(
+        values in prop::collection::vec(any::<u64>(), 1..200),
+        qa in 0.0..=1.0f64,
+        qb in 0.0..=1.0f64,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let (lo_q, hi_q) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(h.quantile(lo_q) <= h.quantile(hi_q));
+    }
+
+    #[test]
+    fn top_quantile_dominates_every_observation(
+        values in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let max = *values.iter().max().unwrap();
+        prop_assert!(h.quantile(1.0) >= max);
+    }
+
+    #[test]
+    fn quantile_error_is_within_25_percent(v in any::<u64>()) {
+        // Upper-bound semantics: a single-value histogram reports its
+        // bucket's upper bound for every quantile — never below the
+        // value, never more than 25% above it.
+        let h = Histogram::new();
+        h.observe(v);
+        let q = h.quantile(0.5);
+        prop_assert!(q >= v);
+        prop_assert!(
+            q as u128 * 4 <= v as u128 * 5 + 16,
+            "{} is more than 25% above {}", q, v
+        );
+    }
+}
+
+/// Eight threads hammer one counter, one gauge, and one histogram;
+/// every recorded event must be visible afterwards — the registry's
+/// lock-free claim, tested.
+#[test]
+fn concurrent_recording_loses_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 50_000;
+    let registry = Registry::new();
+    let c = registry.counter("ops_total", "operations");
+    let g = registry.gauge("depth", "queue depth");
+    let h = registry.histogram("latency_ns", "latency");
+    let mut joins = Vec::new();
+    for t in 0..THREADS {
+        let (c, g, h) = (Arc::clone(&c), Arc::clone(&g), Arc::clone(&h));
+        joins.push(thread::spawn(move || {
+            for i in 0..PER_THREAD {
+                c.inc();
+                g.add(1);
+                h.observe(t * PER_THREAD + i);
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let n = THREADS * PER_THREAD;
+    assert_eq!(c.get(), n);
+    assert_eq!(g.get(), n as i64);
+    assert_eq!(h.count(), n);
+    assert_eq!(h.sum(), n * (n - 1) / 2, "every observed value was summed");
+    assert!(h.quantile(1.0) >= n - 1);
+}
+
+/// Golden test: the exposition output for a small fixed registry,
+/// byte-for-byte. Guards scrape compatibility — HELP/TYPE blocks,
+/// label ordering, quantile series, and the summary suffixes.
+#[test]
+fn exposition_golden() {
+    let registry = Registry::new();
+    registry
+        .counter("casper_requests_total", "Requests served")
+        .add(42);
+    registry
+        .gauge_with("casper_shard_users", "Users per shard", &[("shard", "0")])
+        .set(17);
+    let h = registry.histogram("casper_latency_ns", "Latency");
+    for v in [1u64, 2, 3] {
+        h.observe(v);
+    }
+    let expected = "\
+# HELP casper_latency_ns Latency
+# TYPE casper_latency_ns summary
+casper_latency_ns{quantile=\"0.5\"} 2
+casper_latency_ns{quantile=\"0.95\"} 3
+casper_latency_ns{quantile=\"0.99\"} 3
+casper_latency_ns_sum 6
+casper_latency_ns_count 3
+# HELP casper_requests_total Requests served
+# TYPE casper_requests_total counter
+casper_requests_total 42
+# HELP casper_shard_users Users per shard
+# TYPE casper_shard_users gauge
+casper_shard_users{shard=\"0\"} 17
+";
+    assert_eq!(registry.render(), expected);
+}

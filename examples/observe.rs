@@ -1,0 +1,165 @@
+//! Observability walkthrough: a mobility workload against the remote
+//! pipeline under an increasingly hostile chaos proxy, watched entirely
+//! through the telemetry layer.
+//!
+//! ```text
+//! cargo run --release --example observe
+//! ```
+//!
+//! * a few hundred residents move along a synthetic road network and
+//!   query through [`RemoteCasper`] — i.e. over a real TCP hop;
+//! * a deterministic [`ChaosProxy`] sits on that hop, first transparent,
+//!   then dropping frames, then severing the link entirely;
+//! * the networked server exposes the process-wide metrics page over
+//!   HTTP (printed here; `curl` it yourself while the run is live);
+//! * on the first [`QueryOutcome::Degraded`] the flight recorder is
+//!   dumped, showing the failing request's trace id and recent history.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use casper::core::faults::{ChaosProxy, FaultConfig};
+use casper::core::net::ServerConfig;
+use casper::core::{ClientConfig, NetworkServer, QueryOutcome, RemoteCasper, RetryPolicy};
+use casper::mobility::uniform_targets;
+use casper::prelude::*;
+use casper::telemetry;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const RESIDENTS: usize = 150;
+const TICKS: usize = 4;
+
+fn lossy_client() -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Duration::from_millis(400),
+        read_timeout: Duration::from_millis(25),
+        write_timeout: Duration::from_millis(400),
+        retry: RetryPolicy {
+            max_retries: 20,
+            base_delay: Duration::from_millis(2),
+            multiplier: 1.3,
+            max_delay: Duration::from_millis(20),
+            jitter: 0.2,
+        },
+        jitter_seed: 0x0B5E,
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(20060912);
+    let network = NetworkBuilder::new().build(&mut rng);
+    let mut generator = MovingObjectGenerator::new(network, RESIDENTS, &mut rng);
+
+    // Server side: public targets plus the metrics HTTP listener.
+    let mut backend = CasperServer::new();
+    backend.load_public_targets(
+        uniform_targets(1_000, &mut rng)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (ObjectId(i as u64), p)),
+    );
+    let server = NetworkServer::spawn_with(
+        backend,
+        FilterCount::Four,
+        ServerConfig {
+            metrics_http: Some(SocketAddr::from(([127, 0, 0, 1], 0))),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn networked server");
+    println!(
+        "metrics live at http://{}/metrics  (try: curl during the run)",
+        server.metrics_addr().expect("metrics listener")
+    );
+
+    // The anonymizer↔server hop goes through the chaos proxy: phase 1
+    // transparent, phase 2 lossy (the seeded fault stream makes every run
+    // identical).
+    let proxy = ChaosProxy::spawn(
+        server.addr(),
+        FaultConfig {
+            seed: 0x0B5E_CAFE,
+            drop_frame: 0.06,
+            disconnect: 0.01,
+            ..FaultConfig::default()
+        },
+    )
+    .expect("spawn chaos proxy");
+    let mut remote = RemoteCasper::with_config(
+        AdaptiveAnonymizer::adaptive(9),
+        proxy.addr(),
+        lossy_client(),
+    );
+
+    for i in 0..RESIDENTS {
+        remote.register_user(
+            UserId(i as u64),
+            Profile::new(rng.gen_range(1..=20), 0.0),
+            generator.object(i).position(),
+        );
+    }
+
+    // Phase 1+2: mobility ticks with queries, through the lossy link.
+    let (mut answered, mut degraded) = (0usize, 0usize);
+    for tick in 0..TICKS {
+        for (i, pos) in generator.tick(1.0, &mut rng) {
+            remote.move_user(UserId(i as u64), pos);
+        }
+        for _ in 0..30 {
+            let uid = UserId(rng.gen_range(0..RESIDENTS as u64));
+            match remote.query_nn(uid) {
+                Some(QueryOutcome::Answered(_)) => answered += 1,
+                Some(QueryOutcome::Degraded { .. }) => degraded += 1,
+                None => {}
+            }
+        }
+        println!(
+            "tick {tick}: answered={answered} degraded={degraded} injected_faults={} \
+             pending={} (high water {})",
+            proxy.injected(),
+            remote.pending_updates(),
+            remote.pending_high_water(),
+        );
+    }
+
+    // Phase 3: kill the server mid-flight. The next query degrades, and
+    // the flight recorder reconstructs what the request went through.
+    println!("\n--- killing the server: forcing a degraded query ---");
+    server.shutdown();
+    for (i, pos) in generator.tick(1.0, &mut rng) {
+        remote.move_user(UserId(i as u64), pos);
+    }
+    let outcome = remote
+        .query_nn(UserId(0))
+        .expect("user 0 is registered");
+    match outcome {
+        QueryOutcome::Degraded {
+            trace_id,
+            pending_updates,
+            ref error,
+        } => {
+            degraded += 1;
+            println!(
+                "query degraded: trace_id={trace_id}, {pending_updates} updates queued, \
+                 error: {error}"
+            );
+            println!("\nflight recorder — events for trace {trace_id}:");
+            for event in telemetry::flight().dump_trace(trace_id) {
+                println!("{event}");
+            }
+            println!("\nfull flight dump (most recent history):");
+            print!("{}", telemetry::flight().render());
+        }
+        QueryOutcome::Answered(_) => println!("server survived the shutdown race; re-run"),
+    }
+
+    // The metrics page an operator would scrape, from the same registry
+    // the (now dead) server was serving over HTTP.
+    println!("\n--- metrics page ---");
+    print!("{}", telemetry::registry().render());
+    println!(
+        "\nworkload totals: answered={answered} degraded={degraded} overwritten_pending={}",
+        remote.overwritten_updates(),
+    );
+    proxy.shutdown();
+}

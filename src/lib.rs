@@ -17,6 +17,7 @@
 //! | [`mobility`] | network-based moving-object generator (workloads) |
 //! | [`baselines`] | quadtree cloaking, CliqueCloak, naive strategies |
 //! | [`core`] | the assembled framework: server, client, end-to-end |
+//! | `telemetry` | metrics registry, tracing, flight recorder (feature `telemetry`, default on) |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,8 @@ pub use casper_grid as grid;
 pub use casper_index as index;
 pub use casper_mobility as mobility;
 pub use casper_qp as qp;
+#[cfg(feature = "telemetry")]
+pub use casper_telemetry as telemetry;
 
 /// The most common imports, bundled.
 pub mod prelude {

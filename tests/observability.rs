@@ -1,0 +1,255 @@
+//! Acceptance tests for the telemetry layer: a chaos workload populates
+//! every core metric family, shard quarantines flip the per-shard
+//! gauges, a forced-degraded query leaves its trace in the flight
+//! recorder, and the metrics page is scrapeable over HTTP mid-run.
+//!
+//! The registry and flight recorder are process-global, so assertions
+//! here are lower bounds or exact values on series that only one test
+//! touches.
+
+#![cfg(all(feature = "faults", feature = "telemetry"))]
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use casper::core::faults::{ChaosProxy, FaultConfig};
+use casper::core::net::ServerConfig;
+use casper::core::{
+    ClientConfig, NetworkServer, QueryOutcome, RemoteCasper, RetryPolicy, ShardedAnonymizer,
+};
+use casper::prelude::*;
+use casper::telemetry;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A client tuned for a lossy link: tight timeouts, deep retry budget.
+fn chaos_client_config() -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Duration::from_millis(500),
+        read_timeout: Duration::from_millis(25),
+        write_timeout: Duration::from_millis(500),
+        retry: RetryPolicy {
+            max_retries: 40,
+            base_delay: Duration::from_millis(2),
+            multiplier: 1.3,
+            max_delay: Duration::from_millis(20),
+            jitter: 0.2,
+        },
+        jitter_seed: 0x0B5E,
+    }
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("metrics listener reachable");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: casper\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+/// The headline acceptance criterion: after a mobility workload through
+/// the chaos proxy, the metrics page shows non-zero per-stage latency
+/// histograms, achieved-k and region-area distributions, retry and
+/// injected-fault counters — and it is scrapeable over HTTP mid-chaos.
+#[test]
+fn chaos_workload_populates_all_core_metrics() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut backend = CasperServer::new();
+    backend
+        .load_public_targets((0..200u64).map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen()))));
+    let server = NetworkServer::spawn_with(
+        backend,
+        FilterCount::Four,
+        ServerConfig {
+            metrics_http: Some(SocketAddr::from(([127, 0, 0, 1], 0))),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let proxy = ChaosProxy::spawn(
+        server.addr(),
+        FaultConfig {
+            seed: 0x0B5E_0001,
+            drop_frame: 0.08,
+            disconnect: 0.01,
+            ..FaultConfig::default()
+        },
+    )
+    .unwrap();
+    let mut remote = RemoteCasper::with_config(
+        AdaptiveAnonymizer::adaptive(8),
+        proxy.addr(),
+        chaos_client_config(),
+    );
+    for i in 0..60u64 {
+        remote.register_user(
+            UserId(i),
+            Profile::new(rng.gen_range(1..8), 0.0),
+            Point::new(rng.gen(), rng.gen()),
+        );
+    }
+    let mut answered = 0usize;
+    for _round in 0..4 {
+        for i in 0..60u64 {
+            remote.move_user(UserId(i), Point::new(rng.gen(), rng.gen()));
+        }
+        for i in 0..20u64 {
+            match remote.query_nn(UserId(i)) {
+                Some(QueryOutcome::Answered(a)) => {
+                    assert_ne!(a.trace_id, 0);
+                    answered += 1;
+                }
+                Some(QueryOutcome::Degraded { .. }) | None => {}
+            }
+        }
+    }
+    assert!(answered > 0, "chaos retry budget should answer most queries");
+
+    // HTTP scrape mid-chaos: the listener serves the same page the wire
+    // protocol does.
+    let page = http_get(server.metrics_addr().unwrap(), "/metrics");
+    assert!(page.starts_with("HTTP/1.1 200 OK"), "{page}");
+    assert!(page.contains("casper_net_server_frames_total"), "{page}");
+
+    let reg = telemetry::registry();
+    // Per-stage latency histograms (the live Figure 17 breakdown).
+    for stage in ["anonymizer", "query", "transmission"] {
+        let h = reg.histogram_with(
+            "casper_stage_latency_ns",
+            "Per-stage latency of the privacy-aware query pipeline, nanoseconds",
+            &[("stage", stage)],
+        );
+        assert!(h.count() > 0, "stage {stage} histogram never observed");
+    }
+    // Privacy/QoS distributions from the cloaking layer.
+    assert!(reg.histogram("casper_cloak_achieved_k", "").count() > 0);
+    assert!(reg.histogram("casper_cloak_region_area_ppm", "").count() > 0);
+    // Candidate-list sizes from the query processor (runs inside the
+    // networked server thread, same process-global registry).
+    assert!(
+        reg.histogram_with("casper_qp_candidates", "", &[("data", "public")])
+            .count()
+            > 0
+    );
+    // Resilience counters: the seeded chaos stream injects faults, and
+    // every injected fault is mirrored per kind into the registry.
+    let tally = proxy.tally();
+    assert!(tally.total() > 0, "chaos config injected nothing");
+    for (kind, count) in [("drop", tally.drops), ("disconnect", tally.disconnects)] {
+        if count > 0 {
+            let c = reg.counter_with("casper_chaos_injected_total", "", &[("kind", kind)]);
+            assert!(c.get() >= count, "{kind}: registry {} < tally {count}", c.get());
+        }
+    }
+    assert!(
+        reg.counter("casper_net_client_retries_total", "").get() > 0,
+        "injected faults must surface as observed retries"
+    );
+    // The full exposition carries every family (for dashboards scraping
+    // the text page rather than the typed handles).
+    let rendered = reg.render();
+    for family in [
+        "casper_stage_latency_ns",
+        "casper_cloak_achieved_k",
+        "casper_cloak_region_area_ppm",
+        "casper_qp_candidates",
+        "casper_chaos_injected_total",
+        "casper_net_client_retries_total",
+        "casper_queries_answered_total",
+    ] {
+        assert!(rendered.contains(family), "exposition missing {family}");
+    }
+
+    proxy.shutdown();
+    server.shutdown();
+}
+
+/// Shard quarantine/restore flips the per-shard gauges, counts the
+/// transition, and leaves flight-recorder events.
+#[test]
+fn shard_quarantine_flips_gauges_and_flight_records() {
+    let mut s = ShardedAnonymizer::new(7, 1); // 4 shards
+    for i in 0..12u64 {
+        s.register(
+            UserId(1000 + i),
+            Profile::new(2, 0.0),
+            Point::new(0.1 + i as f64 * 1e-3, 0.1), // all in shard 0
+        );
+    }
+    let reg = telemetry::registry();
+    let online = reg.gauge_with("casper_shard_online", "", &[("shard", "0")]);
+    let users = reg.gauge_with("casper_shard_users", "", &[("shard", "0")]);
+    assert_eq!(online.get(), 1);
+    assert_eq!(users.get(), 12);
+
+    let transitions_before = reg.counter("casper_shard_transitions_total", "").get();
+    s.quarantine_shard(0);
+    assert_eq!(online.get(), 0, "quarantine must flip the gauge");
+    s.update_location(UserId(1000), Point::new(0.15, 0.15));
+    assert!(reg.gauge("casper_shard_parked_users", "").get() >= 1);
+    s.restore_shard(0);
+    assert_eq!(online.get(), 1, "restore must flip the gauge back");
+    assert!(reg.counter("casper_shard_transitions_total", "").get() >= transitions_before + 2);
+
+    let dump = telemetry::flight().dump();
+    assert!(
+        dump.iter()
+            .any(|e| e.stage == "shard" && e.outcome == "quarantine"),
+        "quarantine missing from flight recorder"
+    );
+    assert!(
+        dump.iter()
+            .any(|e| e.stage == "shard" && e.outcome == "restore"),
+        "restore missing from flight recorder"
+    );
+}
+
+/// A forced degraded query yields a flight-recorder dump containing the
+/// failing request's trace id.
+#[test]
+fn degraded_query_leaves_flight_trace() {
+    let server = NetworkServer::spawn(CasperServer::new(), FilterCount::Four).unwrap();
+    let addr = server.addr();
+    let mut remote = RemoteCasper::with_config(
+        AdaptiveAnonymizer::adaptive(7),
+        addr,
+        ClientConfig {
+            connect_timeout: Duration::from_millis(200),
+            read_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_millis(200),
+            retry: RetryPolicy::no_retry(),
+            jitter_seed: 3,
+        },
+    );
+    for i in 0..5u64 {
+        remote.register_user(
+            UserId(2000 + i),
+            Profile::new(1, 0.0),
+            Point::new(0.2 + i as f64 / 10.0, 0.5),
+        );
+    }
+    server.shutdown();
+    remote.move_user(UserId(2000), Point::new(0.25, 0.55));
+
+    let outcome = remote.query_nn(UserId(2000)).unwrap();
+    let QueryOutcome::Degraded { trace_id, .. } = outcome else {
+        panic!("expected a degraded query against a dead server: {outcome:?}");
+    };
+    assert_ne!(trace_id, 0);
+    let events = telemetry::flight().dump_trace(trace_id);
+    assert!(
+        !events.is_empty(),
+        "the failing request left no flight events"
+    );
+    assert!(
+        events.iter().any(|e| e.outcome == "degraded"),
+        "flight trace lacks the degraded event: {events:?}"
+    );
+    // The human-readable dump names the trace id for the operator.
+    assert!(telemetry::flight()
+        .render()
+        .contains(&format!("trace={trace_id:<8}")));
+}
