@@ -1,0 +1,156 @@
+//! Multi-threaded throughput of the concurrent request plane.
+//!
+//! ```text
+//! cargo run --release -p casper-bench --bin throughput
+//! ```
+//!
+//! Measures updates/sec and cloaks/sec of a
+//! [`ParallelEngine`]`<`[`ShardedAnonymizer`]`>` at 1, 2, 4 and 8 worker
+//! threads, in two modes:
+//!
+//! * **cpu_bound** — raw batch execution. Scales with physical cores:
+//!   on a single-core host the thread counts tie (recorded honestly so
+//!   regressions on bigger hosts are still visible).
+//! * **service** — each operation carries the device↔anonymizer round
+//!   trip of Section 6.3, realised as a per-op wait inside the worker
+//!   ([`ParallelEngine::with_client_rtt`]). This is the deployed shape
+//!   of the system — the anonymizer is a *service* answering mobile
+//!   clients — and the mode where per-shard parallelism pays: the pool
+//!   overlaps the waits, so throughput scales with worker count even on
+//!   one core.
+//!
+//! Results land in `BENCH_throughput.json`; the headline
+//! `speedup_4x_vs_1x` is the service-mode combined (updates + cloaks)
+//! throughput ratio.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use casper_core::ParallelEngine;
+use casper_geometry::Point;
+use casper_grid::{Profile, UserId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const USERS: usize = 4_000;
+const OPS: usize = 2_000;
+const GLOBAL_HEIGHT: u8 = 8;
+const SHARD_LEVEL: u8 = 2;
+const RTT_US: u64 = 200;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct Sample {
+    threads: usize,
+    updates_per_sec: f64,
+    cloaks_per_sec: f64,
+    combined_per_sec: f64,
+}
+
+fn run_mode(threads: usize, rtt: Duration) -> Sample {
+    let engine = ParallelEngine::sharded(GLOBAL_HEIGHT, SHARD_LEVEL, threads).with_client_rtt(rtt);
+    let mut rng = StdRng::seed_from_u64(7);
+    let population: Vec<(UserId, Profile, Point)> = (0..USERS)
+        .map(|i| {
+            (
+                UserId(i as u64),
+                Profile::new(rng.gen_range(2..12), 0.0),
+                Point::new(rng.gen(), rng.gen()),
+            )
+        })
+        .collect();
+    assert_eq!(engine.register_batch(population), USERS);
+
+    let moves: Vec<(UserId, Point)> = (0..OPS)
+        .map(|_| {
+            (
+                UserId(rng.gen_range(0..USERS as u64)),
+                Point::new(rng.gen(), rng.gen()),
+            )
+        })
+        .collect();
+    let t = Instant::now();
+    let applied = engine.update_batch(moves);
+    let update_time = t.elapsed();
+    assert_eq!(applied, OPS);
+
+    let uids: Vec<UserId> = (0..OPS)
+        .map(|_| UserId(rng.gen_range(0..USERS as u64)))
+        .collect();
+    let t = Instant::now();
+    let regions = engine.cloak_batch(&uids);
+    let cloak_time = t.elapsed();
+    assert!(regions.iter().all(|r| r.is_some()));
+
+    Sample {
+        threads,
+        updates_per_sec: OPS as f64 / update_time.as_secs_f64(),
+        cloaks_per_sec: OPS as f64 / cloak_time.as_secs_f64(),
+        combined_per_sec: (2 * OPS) as f64 / (update_time + cloak_time).as_secs_f64(),
+    }
+}
+
+fn speedup_4x(samples: &[Sample]) -> f64 {
+    let at = |n: usize| {
+        samples
+            .iter()
+            .find(|s| s.threads == n)
+            .map(|s| s.combined_per_sec)
+            .unwrap_or(f64::NAN)
+    };
+    at(4) / at(1)
+}
+
+fn mode_json(name: &str, samples: &[Sample]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "  \"{name}\": {{\n    \"threads\": {{");
+    for (i, s) in samples.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n      \"{}\": {{\"updates_per_sec\": {:.1}, \"cloaks_per_sec\": {:.1}, \"combined_per_sec\": {:.1}}}",
+            s.threads, s.updates_per_sec, s.cloaks_per_sec, s.combined_per_sec
+        );
+    }
+    let _ = write!(
+        out,
+        "\n    }},\n    \"speedup_4x_vs_1x\": {:.2}\n  }}",
+        speedup_4x(samples)
+    );
+    out
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("=== concurrent request plane throughput ===");
+    println!("host cpus: {host_cpus}; users: {USERS}; ops per phase: {OPS}");
+
+    let mut cpu_bound = Vec::new();
+    let mut service = Vec::new();
+    for &threads in &THREADS {
+        let c = run_mode(threads, Duration::ZERO);
+        println!(
+            "cpu_bound {threads} thread(s): {:8.0} updates/s  {:8.0} cloaks/s",
+            c.updates_per_sec, c.cloaks_per_sec
+        );
+        cpu_bound.push(c);
+        let s = run_mode(threads, Duration::from_micros(RTT_US));
+        println!(
+            "service   {threads} thread(s): {:8.0} updates/s  {:8.0} cloaks/s",
+            s.updates_per_sec, s.cloaks_per_sec
+        );
+        service.push(s);
+    }
+
+    let headline = speedup_4x(&service);
+    println!("service-mode speedup at 4 threads vs 1: {headline:.2}x");
+
+    let json = format!
+(
+        "{{\n  \"bench\": \"throughput\",\n  \"engine\": \"ParallelEngine<ShardedAnonymizer>\",\n  \"host_cpus\": {host_cpus},\n  \"users\": {USERS},\n  \"ops_per_phase\": {OPS},\n  \"global_height\": {GLOBAL_HEIGHT},\n  \"shard_level\": {SHARD_LEVEL},\n  \"rtt_us\": {RTT_US},\n{},\n{},\n  \"speedup_4x_vs_1x\": {headline:.2}\n}}\n",
+        mode_json("cpu_bound", &cpu_bound),
+        mode_json("service", &service),
+    );
+    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+    println!("wrote BENCH_throughput.json");
+}

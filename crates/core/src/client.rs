@@ -40,7 +40,13 @@ impl CasperClient {
     /// uniformity guarantee (distance to the region centre), breaking ties
     /// toward smaller worst-case (furthest-corner) distance.
     pub fn refine_nn_private(&self, pos: Point, list: &CandidateList) -> Option<Entry> {
-        list.candidates
+        self.refine_nn_private_entries(pos, &list.candidates)
+    }
+
+    /// [`CasperClient::refine_nn_private`] over a bare candidate slice —
+    /// the shape the typed request plane carries.
+    pub fn refine_nn_private_entries(&self, pos: Point, candidates: &[Entry]) -> Option<Entry> {
+        candidates
             .iter()
             .min_by(|a, b| {
                 let ka = (a.mbr.center().dist(pos), a.mbr.max_dist(pos));

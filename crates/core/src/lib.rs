@@ -30,6 +30,13 @@
 //!   a resilient client (timeouts, retry with backoff + jitter,
 //!   reconnect-and-replay). [`RemoteCasper`] assembles the pipeline
 //!   across it with graceful degradation.
+//! * [`engine`] — the **unified request plane**: the typed
+//!   [`Request`]/[`Response`] vocabulary, the [`Engine`] interface every
+//!   assembly implements, the single [`engine::ServerPlane`] executor
+//!   behind both the local pipeline and the TCP server, and
+//!   [`ParallelEngine`] — the concurrent assembly that drives a
+//!   [`ShardedAnonymizer`] with per-shard parallelism and batch entry
+//!   points.
 //! * [`faults`] (feature `faults`, on by default) — a deterministic
 //!   chaos proxy that drops/corrupts/truncates/delays frames to test the
 //!   above.
@@ -41,6 +48,7 @@
 mod client;
 mod continuous;
 mod cost;
+pub mod engine;
 #[cfg(feature = "faults")]
 pub mod faults;
 pub mod net;
@@ -58,6 +66,7 @@ pub mod wire;
 pub use client::CasperClient;
 pub use continuous::ContinuousNn;
 pub use cost::TransmissionModel;
+pub use engine::{AnonymizerService, Engine, ParallelEngine, Request, Response, WorkerPool};
 pub use net::{ClientConfig, NetError, NetworkClient, NetworkServer, ServerConfig, MAX_FRAME_LEN};
 pub use pipeline::{Casper, EndToEndAnswer, EndToEndBreakdown, QueryOutcome, RemoteCasper};
 pub use policy::FilterPolicy;

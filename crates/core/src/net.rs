@@ -28,7 +28,6 @@
 //! chaos proxy that drops/corrupts/truncates/delays these frames to prove
 //! the above under fire.
 
-use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -39,8 +38,8 @@ use std::time::Duration;
 use bytes::Bytes;
 use casper_geometry::Rect;
 use casper_qp::FilterCount;
-use parking_lot::{Mutex, RwLock};
 
+use crate::engine::{Request, Response, ServerPlane};
 use crate::retry::{RetryPolicy, SplitMix64};
 use crate::wire::{decode, encode, Message, WireError};
 use crate::{CasperServer, PrivateHandle};
@@ -247,10 +246,13 @@ impl Drop for ActiveGuard {
 }
 
 /// The networked privacy-aware server: accepts anonymizer connections and
-/// serves cloaked updates and queries against a shared [`CasperServer`].
+/// serves cloaked updates and queries against a shared [`ServerPlane`].
+///
+/// Per-message semantics live in [`ServerPlane::execute`]; this type is
+/// pure transport — framing, checksums, connection caps, shutdown.
 pub struct NetworkServer {
     addr: SocketAddr,
-    shared: Arc<RwLock<CasperServer>>,
+    plane: Arc<ServerPlane>,
     stats: Arc<StatsInner>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
@@ -289,11 +291,10 @@ impl NetworkServer {
             // distinct even if the clock is coarse or stuck.
             (t ^ (n << 48)) | n
         };
-        let shared = Arc::new(RwLock::new(server));
-        let seqs: Arc<Mutex<HashMap<u64, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+        let plane = Arc::new(ServerPlane::new(server, filters, boot_id));
         let stats = Arc::new(StatsInner::default());
         let stop = Arc::new(AtomicBool::new(false));
-        let (shared2, stats2, stop2) = (Arc::clone(&shared), Arc::clone(&stats), Arc::clone(&stop));
+        let (plane2, stats2, stop2) = (Arc::clone(&plane), Arc::clone(&stats), Arc::clone(&stop));
         // A short accept timeout lets the loop notice the stop flag.
         listener.set_nonblocking(true)?;
         let accept_thread = std::thread::spawn(move || {
@@ -314,8 +315,7 @@ impl NetworkServer {
                         #[cfg(feature = "telemetry")]
                         crate::tel::net_server().active.add(1);
                         let guard = ActiveGuard(Arc::clone(&stats2));
-                        let shared3 = Arc::clone(&shared2);
-                        let seqs3 = Arc::clone(&seqs);
+                        let plane3 = Arc::clone(&plane2);
                         let stats3 = Arc::clone(&stats2);
                         let stop3 = Arc::clone(&stop2);
                         // Workers are detached: they exit on client
@@ -331,13 +331,10 @@ impl NetworkServer {
                                 .unwrap_or_else(|_| String::from("<unknown>"));
                             if let Err(e) = serve_connection(
                                 stream,
-                                &shared3,
-                                &seqs3,
+                                &plane3,
                                 &stats3,
                                 &stop3,
-                                filters,
                                 config.max_frame_len,
-                                boot_id,
                             ) {
                                 stats3.connection_errors.fetch_add(1, Ordering::Relaxed);
                                 #[cfg(feature = "telemetry")]
@@ -366,7 +363,7 @@ impl NetworkServer {
         };
         Ok(Self {
             addr,
-            shared,
+            plane,
             stats,
             stop,
             accept_thread: Some(accept_thread),
@@ -394,13 +391,13 @@ impl NetworkServer {
 
     /// Runs a read-only closure against the hosted server (diagnostics).
     pub fn with_server<R>(&self, f: impl FnOnce(&CasperServer) -> R) -> R {
-        f(&self.shared.read())
+        f(&self.plane.read())
     }
 
     /// Runs a mutating closure against the hosted server (e.g. loading
     /// public targets out-of-band).
     pub fn with_server_mut<R>(&self, f: impl FnOnce(&mut CasperServer) -> R) -> R {
-        f(&mut self.shared.write())
+        f(&mut self.plane.write())
     }
 
     /// Stops accepting, joins the accept thread, and waits for worker
@@ -468,16 +465,12 @@ pub(crate) fn read_full(
     Ok(true)
 }
 
-#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     mut stream: TcpStream,
-    shared: &RwLock<CasperServer>,
-    seqs: &Mutex<HashMap<u64, u64>>,
+    plane: &ServerPlane,
     stats: &StatsInner,
     stop: &AtomicBool,
-    filters: FilterCount,
     max_frame_len: usize,
-    boot_id: u64,
 ) -> Result<(), NetError> {
     stream.set_nodelay(true).ok();
     // Periodic read timeouts let the worker observe the stop flag while
@@ -521,59 +514,33 @@ fn serve_connection(
         stats.frames.fetch_add(1, Ordering::Relaxed);
         #[cfg(feature = "telemetry")]
         crate::tel::net_server().frames.inc();
-        match msg {
-            Message::CloakedUpdate {
-                handle,
-                seq,
-                region,
-            } => {
-                let stale = {
-                    let mut seqs = seqs.lock();
-                    match seqs.get(&handle) {
-                        Some(&newest) if seq < newest => true,
-                        _ => {
-                            seqs.insert(handle, seq);
-                            false
-                        }
-                    }
-                };
-                if stale {
-                    stats.stale_updates.fetch_add(1, Ordering::Relaxed);
-                    #[cfg(feature = "telemetry")]
-                    crate::tel::net_server().stale_updates.inc();
-                } else {
-                    shared
-                        .write()
-                        .upsert_private_region(PrivateHandle(handle), region);
-                }
-                // Updates are acked even when discarded as stale: the
-                // sender's newer state is already applied, so from its
-                // view the update succeeded. The ack carries this
-                // instance's boot id so clients can detect restarts.
-                write_frame(&mut stream, &encode(&Message::UpdateAck { boot_id, seq }))?;
-            }
-            Message::CloakedQuery { region, .. } => {
-                let (list, _) = shared.read().nn_public(&region, filters);
-                write_frame(&mut stream, &encode(&Message::Candidates(list.candidates)))?;
-            }
-            Message::MetricsRequest => {
-                // The ops channel: ship the whole rendered metrics page
-                // back over the wire protocol. Without the `telemetry`
-                // feature there is no registry; answer honestly so
-                // mixed-build fleets degrade gracefully.
-                #[cfg(feature = "telemetry")]
-                let page = casper_telemetry::registry().render();
-                #[cfg(not(feature = "telemetry"))]
-                let page = String::from("# casper built without the `telemetry` feature\n");
-                write_frame(&mut stream, &encode(&Message::MetricsText(page)))?;
-            }
-            Message::Candidates(_) | Message::UpdateAck { .. } | Message::MetricsText(_) => {
+        // From here the connection is pure translation: wire message →
+        // typed request → the one ServerPlane dispatch → wire reply.
+        let req = match Request::from_wire(msg) {
+            Ok(req) => req,
+            Err(what) => {
                 stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 #[cfg(feature = "telemetry")]
                 crate::tel::net_server().protocol_errors.inc();
-                return Err(NetError::Protocol("client sent a server-only message"));
+                return Err(NetError::Protocol(what));
             }
+        };
+        let resp = plane.execute(req);
+        if let Response::RegionAck { applied: false, .. } = resp {
+            stats.stale_updates.fetch_add(1, Ordering::Relaxed);
+            #[cfg(feature = "telemetry")]
+            crate::tel::net_server().stale_updates.inc();
         }
+        let reply = match resp.into_wire() {
+            Ok(reply) => reply,
+            Err(what) => {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                #[cfg(feature = "telemetry")]
+                crate::tel::net_server().protocol_errors.inc();
+                return Err(NetError::Protocol(what));
+            }
+        };
+        write_frame(&mut stream, &encode(&reply))?;
     }
 }
 

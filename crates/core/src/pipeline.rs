@@ -2,13 +2,19 @@
 //! transmission → client, with the per-component time breakdown of
 //! Figure 17.
 //!
-//! Two assemblies live here: [`Casper`] wires the components in-process
-//! (the paper's measurement rig), while [`RemoteCasper`] puts the real
-//! TCP boundary of [`crate::net`] between the trusted anonymizer and the
-//! privacy-aware server — and degrades gracefully when that boundary
-//! fails: cloaked updates queue in a bounded buffer while the server is
-//! unreachable and flush on reconnect, and queries report an explicit
-//! [`QueryOutcome::Degraded`] instead of panicking.
+//! Both assemblies here are thin shells around one [`PipelineCore`]
+//! that executes the typed [`Request`] vocabulary of [`crate::engine`]:
+//! [`Casper`] runs the server tier in-process through a
+//! [`crate::engine::ServerPlane`] (the paper's measurement rig), while
+//! [`RemoteCasper`] reaches the *same* server semantics through the
+//! real TCP boundary of [`crate::net`] — and degrades gracefully when
+//! that boundary fails: cloaked updates queue in a bounded buffer while
+//! the server is unreachable and flush on reconnect, and queries report
+//! an explicit [`QueryOutcome::Degraded`] instead of panicking.
+//!
+//! The difference between "local" and "remote" is entirely the
+//! [`ServerLink`] each core carries; the per-request dispatch exists
+//! once, in [`PipelineCore::execute`].
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -17,10 +23,11 @@ use casper_anonymizer::Anonymizer;
 use casper_geometry::{Point, Rect};
 use casper_grid::{MaintenanceStats, Profile, PyramidStructure, UserId};
 use casper_index::{Entry, ObjectId};
-use casper_qp::{FilterCount, PrivateBoundMode, RangeAnswer};
+use casper_qp::{FilterCount, RangeAnswer};
 
+use crate::engine::{Engine, Request, Response, ServerPlane};
 use crate::net::{ClientConfig, NetError, NetworkClient};
-use crate::{CasperClient, CasperServer, PrivateHandle, TransmissionModel};
+use crate::{CasperClient, CasperServer, Category, PrivateHandle, TransmissionModel};
 
 /// Per-component timing of one end-to-end query — the three stacked bars
 /// of Figure 17.
@@ -63,7 +70,7 @@ pub struct EndToEndAnswer {
 /// [`QueryOutcome::Degraded`] always carries one (logs stay correlatable
 /// across builds); with the feature they tie the request to its flight
 /// recorder entries.
-fn mint_trace_id() -> u64 {
+pub(crate) fn mint_trace_id() -> u64 {
     #[cfg(feature = "telemetry")]
     {
         casper_telemetry::next_trace_id()
@@ -76,197 +83,10 @@ fn mint_trace_id() -> u64 {
     }
 }
 
-/// The assembled Casper framework.
-///
-/// Generic over the pyramid structure so harnesses can compare the basic
-/// and adaptive anonymizers end to end.
-#[derive(Debug)]
-pub struct Casper<P: PyramidStructure> {
-    anonymizer: Anonymizer<P>,
-    server: CasperServer,
-    client: CasperClient,
-    transmission: TransmissionModel,
-    filters: FilterCount,
-}
-
-impl<P: PyramidStructure> Casper<P> {
-    /// Assembles the framework around an anonymizer; the paper's defaults
-    /// (4 filters, 64-byte records over 100 Mbps) apply.
-    pub fn new(anonymizer: Anonymizer<P>) -> Self {
-        Self {
-            anonymizer,
-            server: CasperServer::new(),
-            client: CasperClient::new(),
-            transmission: TransmissionModel::default(),
-            filters: FilterCount::Four,
-        }
-    }
-
-    /// Overrides the filter-count variant of the query processor.
-    pub fn with_filters(mut self, filters: FilterCount) -> Self {
-        self.filters = filters;
-        self
-    }
-
-    /// Overrides the transmission model.
-    pub fn with_transmission(mut self, model: TransmissionModel) -> Self {
-        self.transmission = model;
-        self
-    }
-
-    /// Loads the public target objects (gas stations, restaurants, ...).
-    pub fn load_targets(&mut self, targets: impl IntoIterator<Item = (ObjectId, Point)>) {
-        self.server.load_public_targets(targets);
-    }
-
-    /// Registers a mobile user: exact data stay at the anonymizer; the
-    /// server receives only the cloaked region under an opaque handle.
-    pub fn register_user(&mut self, uid: UserId, profile: Profile, pos: Point) {
-        self.anonymizer.register(uid, profile, pos);
-        self.push_region(uid);
-    }
-
-    /// Processes a location update, refreshing the server-side cloaked
-    /// region.
-    pub fn move_user(&mut self, uid: UserId, pos: Point) -> MaintenanceStats {
-        let stats = self.anonymizer.update_location(uid, pos);
-        self.push_region(uid);
-        stats
-    }
-
-    /// Changes a user's privacy profile at runtime.
-    pub fn change_profile(&mut self, uid: UserId, profile: Profile) {
-        self.anonymizer.update_profile(uid, profile);
-        self.push_region(uid);
-    }
-
-    /// Removes a user from the system entirely.
-    pub fn sign_off(&mut self, uid: UserId) {
-        self.anonymizer.deregister(uid);
-        self.server.remove_private_region(PrivateHandle(uid.0));
-    }
-
-    fn push_region(&mut self, uid: UserId) {
-        if let Some(region) = self.anonymizer.cloak_region_of(uid) {
-            self.server
-                .upsert_private_region(PrivateHandle(uid.0), region.rect);
-        }
-    }
-
-    /// A private NN query over public data, end to end: cloak the
-    /// querying user, run Algorithm 2, model the candidate-list
-    /// transmission, refine locally at the client.
-    pub fn query_nn(&mut self, uid: UserId) -> Option<EndToEndAnswer> {
-        self.query_nn_with(uid, self.filters)
-    }
-
-    /// [`Casper::query_nn`] with an explicit filter-count variant —
-    /// the hook used by [`crate::FilterPolicy`]-driven deployments.
-    pub fn query_nn_with(&mut self, uid: UserId, filters: FilterCount) -> Option<EndToEndAnswer> {
-        let trace_id = mint_trace_id();
-        let t0 = Instant::now();
-        let query = self.anonymizer.cloak_query(uid)?;
-        let anonymizer_time = t0.elapsed();
-        let (list, qstats) = self.server.nn_public(&query.region, filters);
-        let transmission = self.transmission.time_for_records(list.len());
-        // Local refinement with the exact position, which only the
-        // user-side knows (here: read back through the trusted
-        // anonymizer).
-        let pos = self.anonymizer.pyramid().position_of(uid)?;
-        let exact = self.client.refine_nn(pos, &list);
-        self.anonymizer.resolve(query.pseudonym);
-        #[cfg(feature = "telemetry")]
-        {
-            crate::tel::record_stage(trace_id, "anonymizer", "ok", anonymizer_time);
-            crate::tel::record_stage(trace_id, "query", "ok", qstats.processing);
-            crate::tel::record_stage(trace_id, "transmission", "ok", transmission);
-            crate::tel::record_answered();
-        }
-        Some(EndToEndAnswer {
-            exact,
-            candidates: list.len(),
-            breakdown: EndToEndBreakdown {
-                anonymizer: anonymizer_time,
-                query: qstats.processing,
-                transmission,
-            },
-            trace_id,
-        })
-    }
-
-    /// A private NN query over *private* data ("where is my nearest
-    /// buddy?"), end to end.
-    pub fn query_nn_private(&mut self, uid: UserId) -> Option<EndToEndAnswer> {
-        let trace_id = mint_trace_id();
-        let t0 = Instant::now();
-        let query = self.anonymizer.cloak_query(uid)?;
-        let anonymizer_time = t0.elapsed();
-        let (mut list, qstats) =
-            self.server
-                .nn_private(&query.region, self.filters, PrivateBoundMode::Safe);
-        // The user's own cloaked region is stored too; drop it from her
-        // buddy candidates.
-        list.candidates.retain(|e| e.id != ObjectId(uid.0));
-        let transmission = self.transmission.time_for_records(list.len());
-        let pos = self.anonymizer.pyramid().position_of(uid)?;
-        let exact = self.client.refine_nn_private(pos, &list);
-        self.anonymizer.resolve(query.pseudonym);
-        #[cfg(feature = "telemetry")]
-        {
-            crate::tel::record_stage(trace_id, "anonymizer", "ok", anonymizer_time);
-            crate::tel::record_stage(trace_id, "query", "ok", qstats.processing);
-            crate::tel::record_stage(trace_id, "transmission", "ok", transmission);
-            crate::tel::record_answered();
-        }
-        Some(EndToEndAnswer {
-            exact,
-            candidates: list.len(),
-            breakdown: EndToEndBreakdown {
-                anonymizer: anonymizer_time,
-                query: qstats.processing,
-                transmission,
-            },
-            trace_id,
-        })
-    }
-
-    /// A public (administrator) count query over the private store: goes
-    /// straight to the server, bypassing the anonymizer (Figure 1).
-    pub fn admin_count(&self, area: &Rect) -> RangeAnswer {
-        self.server.range_private(area)
-    }
-
-    /// Read access to the anonymizer (harnesses, tests).
-    pub fn anonymizer(&self) -> &Anonymizer<P> {
-        &self.anonymizer
-    }
-
-    /// The configured filter-count variant.
-    pub fn filter_count(&self) -> FilterCount {
-        self.filters
-    }
-
-    /// Read access to the server (harnesses, tests).
-    pub fn server(&self) -> &CasperServer {
-        &self.server
-    }
-
-    /// Mutable access to the anonymizer (e.g. for cloaking queries whose
-    /// candidate lists are processed outside the built-in pipeline).
-    pub fn anonymizer_mut(&mut self) -> &mut Anonymizer<P> {
-        &mut self.anonymizer
-    }
-
-    /// Mutable access to the server (e.g. categorised target loading).
-    pub fn server_mut(&mut self) -> &mut CasperServer {
-        &mut self.server
-    }
-}
-
 /// Default bound on the [`RemoteCasper`] pending-update buffer.
 pub const DEFAULT_PENDING_CAP: usize = 10_000;
 
-/// The outcome of one query against a [`RemoteCasper`].
+/// The outcome of one query against a degradable pipeline.
 #[derive(Debug)]
 pub enum QueryOutcome {
     /// The server answered; the candidate list was refined locally.
@@ -309,6 +129,481 @@ impl QueryOutcome {
     }
 }
 
+/// A server-tier request failed at the transport. `stage` names the
+/// pipeline stage that failed ("net_flush" or "query") for telemetry and
+/// degradation reporting.
+#[derive(Debug)]
+pub(crate) struct LinkFailure {
+    pub(crate) stage: &'static str,
+    pub(crate) error: NetError,
+}
+
+/// How a [`PipelineCore`] reaches the server tier: in-process through a
+/// [`ServerPlane`] ([`LocalLink`]) or across the wire with buffering and
+/// degradation ([`RemoteLink`]). Implementations execute *server-tier*
+/// [`Request`]s only; the core keeps user-tier requests on the trusted
+/// side.
+pub(crate) trait ServerLink {
+    /// Executes one server-tier request, or reports the failed stage.
+    fn execute(&mut self, req: Request) -> Result<Response, LinkFailure>;
+
+    /// Updates currently buffered while the server is unreachable.
+    fn pending(&self) -> usize {
+        0
+    }
+}
+
+/// The in-process link: every request goes straight to the one
+/// [`ServerPlane`]. Infallible.
+#[derive(Debug)]
+pub(crate) struct LocalLink {
+    pub(crate) plane: ServerPlane,
+}
+
+impl ServerLink for LocalLink {
+    fn execute(&mut self, req: Request) -> Result<Response, LinkFailure> {
+        Ok(self.plane.execute(req))
+    }
+}
+
+/// The wire link: region upserts land in a bounded latest-wins buffer
+/// that is flushed whenever the transport cooperates, queries ride the
+/// retrying [`NetworkClient`], and failures surface as [`LinkFailure`]s
+/// for the core to convert into [`QueryOutcome::Degraded`].
+#[derive(Debug)]
+pub(crate) struct RemoteLink {
+    net: NetworkClient,
+    /// Cloaked updates awaiting a reachable server: `handle → region`,
+    /// latest-wins per handle.
+    pending: BTreeMap<u64, Rect>,
+    pending_cap: usize,
+    dropped_updates: u64,
+    overwritten_updates: u64,
+    pending_high_water: usize,
+}
+
+impl RemoteLink {
+    fn new(server: std::net::SocketAddr, config: ClientConfig) -> Self {
+        Self {
+            net: NetworkClient::with_config(server, config),
+            pending: BTreeMap::new(),
+            pending_cap: DEFAULT_PENDING_CAP,
+            dropped_updates: 0,
+            overwritten_updates: 0,
+            pending_high_water: 0,
+        }
+    }
+
+    /// Parks a cloaked region in the bounded latest-wins buffer and
+    /// attempts delivery. Transport failures are absorbed: the region
+    /// stays queued.
+    fn buffer_region(&mut self, handle: u64, region: Rect) {
+        if !self.pending.contains_key(&handle) && self.pending.len() >= self.pending_cap {
+            // Bounded buffer: evict the oldest queued handle. Its region
+            // is stale-but-k-anonymous on the server; we only lose
+            // freshness, never privacy.
+            if let Some((&evicted, _)) = self.pending.iter().next() {
+                self.pending.remove(&evicted);
+                self.dropped_updates += 1;
+                #[cfg(feature = "telemetry")]
+                crate::tel::record_pending_drop();
+            }
+        }
+        if self.pending.insert(handle, region).is_some() {
+            // Latest-wins coalescing: a queued region for this user was
+            // replaced before it ever reached the server. Invisible in
+            // `pending.len()`, so it gets its own counter.
+            self.overwritten_updates += 1;
+            #[cfg(feature = "telemetry")]
+            crate::tel::record_pending_overwrite();
+        }
+        self.pending_high_water = self.pending_high_water.max(self.pending.len());
+        #[cfg(feature = "telemetry")]
+        crate::tel::record_pending_depth(self.pending.len());
+        let _ = self.flush();
+    }
+
+    /// Delivers queued cloaked updates until the buffer is empty or the
+    /// transport fails. Returns how many were flushed.
+    fn flush(&mut self) -> Result<usize, NetError> {
+        let mut flushed = 0usize;
+        let result = loop {
+            let Some((&handle, &region)) = self.pending.iter().next() else {
+                break Ok(flushed);
+            };
+            if let Err(e) = self.net.push_update(PrivateHandle(handle), region) {
+                break Err(e);
+            }
+            self.pending.remove(&handle);
+            flushed += 1;
+        };
+        #[cfg(feature = "telemetry")]
+        crate::tel::record_pending_depth(self.pending.len());
+        result
+    }
+}
+
+impl ServerLink for RemoteLink {
+    fn execute(&mut self, req: Request) -> Result<Response, LinkFailure> {
+        match req {
+            Request::UpsertRegion { handle, region, .. } => {
+                // Sequencing across the wire belongs to the network
+                // client (per-handle acks and replay), not the caller.
+                self.buffer_region(handle, region);
+                Ok(Response::Done)
+            }
+            Request::RemoveRegion { handle } => {
+                self.pending.remove(&handle);
+                #[cfg(feature = "telemetry")]
+                crate::tel::record_pending_depth(self.pending.len());
+                self.net.forget(PrivateHandle(handle));
+                Ok(Response::Done)
+            }
+            Request::NnCandidates {
+                pseudonym,
+                region,
+                category,
+                ..
+            } => {
+                if category.is_some() {
+                    return Err(LinkFailure {
+                        stage: "query",
+                        error: NetError::Protocol(
+                            "categorised queries are not in the wire protocol",
+                        ),
+                    });
+                }
+                // Deliver queued updates first so the query runs against
+                // current state; failure means the server is unreachable.
+                self.flush().map_err(|error| LinkFailure {
+                    stage: "net_flush",
+                    error,
+                })?;
+                let entries = self
+                    .net
+                    .query_nn(pseudonym, region)
+                    .map_err(|error| LinkFailure {
+                        stage: "query",
+                        error,
+                    })?;
+                // Over a real socket the server's internal processing
+                // time is not reported back; the caller's measured round
+                // trip stands in for it.
+                Ok(Response::Candidates {
+                    entries,
+                    processing: None,
+                })
+            }
+            Request::Metrics => {
+                let page = self.net.fetch_metrics().map_err(|error| LinkFailure {
+                    stage: "query",
+                    error,
+                })?;
+                Ok(Response::MetricsPage(page))
+            }
+            _ => Err(LinkFailure {
+                stage: "query",
+                error: NetError::Protocol("request has no wire representation"),
+            }),
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// The one pipeline: a trusted [`Anonymizer`] in front of whatever
+/// [`ServerLink`] reaches the server tier. All per-request dispatch —
+/// local and remote alike — lives in [`PipelineCore::execute`].
+#[derive(Debug)]
+struct PipelineCore<P: PyramidStructure, L: ServerLink> {
+    anonymizer: Anonymizer<P>,
+    link: L,
+    client: CasperClient,
+    transmission: TransmissionModel,
+    filters: FilterCount,
+}
+
+impl<P: PyramidStructure, L: ServerLink> PipelineCore<P, L> {
+    fn new(anonymizer: Anonymizer<P>, link: L) -> Self {
+        Self {
+            anonymizer,
+            link,
+            client: CasperClient::new(),
+            transmission: TransmissionModel::default(),
+            filters: FilterCount::Four,
+        }
+    }
+
+    /// Refreshes the server-side cloaked region after a trusted-tier
+    /// mutation.
+    fn push_region(&mut self, uid: UserId) {
+        if let Some(region) = self.anonymizer.cloak_region_of(uid) {
+            let _ = self.link.execute(Request::UpsertRegion {
+                handle: uid.0,
+                seq: 0, // link-assigned
+                region: region.rect,
+            });
+        }
+    }
+
+    /// The single dispatch behind [`Engine::execute`] for both
+    /// assemblies.
+    fn execute(&mut self, req: Request) -> Response {
+        match req {
+            Request::Register { uid, profile, pos } => {
+                let s = self.anonymizer.register(uid, profile, pos);
+                self.push_region(uid);
+                Response::Maintained(s)
+            }
+            Request::UpdateLocation { uid, pos } => {
+                let s = self.anonymizer.update_location(uid, pos);
+                self.push_region(uid);
+                Response::Maintained(s)
+            }
+            Request::UpdateProfile { uid, profile } => {
+                let s = self.anonymizer.update_profile(uid, profile);
+                self.push_region(uid);
+                Response::Maintained(s)
+            }
+            Request::SignOff { uid } => {
+                self.anonymizer.deregister(uid);
+                let _ = self.link.execute(Request::RemoveRegion { handle: uid.0 });
+                Response::Done
+            }
+            Request::Cloak { uid } => Response::Cloaked(self.anonymizer.cloak_region_of(uid)),
+            Request::QueryNn {
+                uid,
+                filters,
+                category,
+            } => Response::Outcome(self.query(uid, filters.unwrap_or(self.filters), category, false)),
+            Request::QueryNnPrivate { uid } => {
+                Response::Outcome(self.query(uid, self.filters, None, true))
+            }
+            server_tier => match self.link.execute(server_tier) {
+                Ok(resp) => resp,
+                Err(_) => Response::Unsupported("the server link could not serve this request"),
+            },
+        }
+    }
+
+    /// The end-to-end query pipeline of Section 6.3, shared by the
+    /// public- and private-data flavours and by both links: cloak →
+    /// flush/query through the link → modelled transmission → local
+    /// refinement, with the full telemetry choreography and explicit
+    /// degradation on link failure.
+    fn query(
+        &mut self,
+        uid: UserId,
+        filters: FilterCount,
+        category: Option<Category>,
+        private_data: bool,
+    ) -> Option<QueryOutcome> {
+        let trace_id = mint_trace_id();
+        let t0 = Instant::now();
+        let query = self.anonymizer.cloak_query(uid)?;
+        let anonymizer_time = t0.elapsed();
+        #[cfg(feature = "telemetry")]
+        crate::tel::record_stage(trace_id, "anonymizer", "ok", anonymizer_time);
+        let req = if private_data {
+            Request::NnPrivateCandidates {
+                region: query.region,
+                filters: Some(filters),
+                // The user's own cloaked region is stored too; drop it
+                // from her buddy candidates.
+                exclude: Some(uid.0),
+            }
+        } else {
+            Request::NnCandidates {
+                pseudonym: query.pseudonym.0,
+                region: query.region,
+                filters: Some(filters),
+                category,
+            }
+        };
+        let t1 = Instant::now();
+        let (entries, processing) = match self.link.execute(req) {
+            Ok(Response::Candidates {
+                entries,
+                processing,
+            }) => (entries, processing),
+            Ok(_) => {
+                self.anonymizer.resolve(query.pseudonym);
+                return None;
+            }
+            Err(LinkFailure { stage, error }) => {
+                self.anonymizer.resolve(query.pseudonym);
+                #[cfg(feature = "telemetry")]
+                {
+                    crate::tel::record_stage(trace_id, stage, "error", t1.elapsed());
+                    crate::tel::record_degraded(trace_id, self.link.pending(), &error.to_string());
+                }
+                #[cfg(not(feature = "telemetry"))]
+                let _ = stage;
+                return Some(QueryOutcome::Degraded {
+                    pending_updates: self.link.pending(),
+                    error,
+                    trace_id,
+                });
+            }
+        };
+        // In-process links report the server's processing time; over a
+        // real socket only the measured round trip is known.
+        let query_time = processing.unwrap_or_else(|| t1.elapsed());
+        let transmission = self.transmission.time_for_records(entries.len());
+        let pos = self.anonymizer.pyramid().position_of(uid)?;
+        let exact = if private_data {
+            self.client.refine_nn_private_entries(pos, &entries)
+        } else {
+            self.client.refine_nn_entries(pos, &entries)
+        };
+        self.anonymizer.resolve(query.pseudonym);
+        #[cfg(feature = "telemetry")]
+        {
+            crate::tel::record_stage(trace_id, "query", "ok", query_time);
+            crate::tel::record_stage(trace_id, "transmission", "ok", transmission);
+            crate::tel::record_answered();
+        }
+        Some(QueryOutcome::Answered(EndToEndAnswer {
+            exact,
+            candidates: entries.len(),
+            breakdown: EndToEndBreakdown {
+                anonymizer: anonymizer_time,
+                query: query_time,
+                transmission,
+            },
+            trace_id,
+        }))
+    }
+}
+
+/// The assembled Casper framework, server tier in-process.
+///
+/// Generic over the pyramid structure so harnesses can compare the basic
+/// and adaptive anonymizers end to end.
+#[derive(Debug)]
+pub struct Casper<P: PyramidStructure> {
+    core: PipelineCore<P, LocalLink>,
+}
+
+impl<P: PyramidStructure> Casper<P> {
+    /// Assembles the framework around an anonymizer; the paper's defaults
+    /// (4 filters, 64-byte records over 100 Mbps) apply.
+    pub fn new(anonymizer: Anonymizer<P>) -> Self {
+        Self {
+            core: PipelineCore::new(
+                anonymizer,
+                LocalLink {
+                    plane: ServerPlane::new(CasperServer::new(), FilterCount::Four, 1),
+                },
+            ),
+        }
+    }
+
+    /// Overrides the filter-count variant of the query processor.
+    pub fn with_filters(mut self, filters: FilterCount) -> Self {
+        self.core.filters = filters;
+        self
+    }
+
+    /// Overrides the transmission model.
+    pub fn with_transmission(mut self, model: TransmissionModel) -> Self {
+        self.core.transmission = model;
+        self
+    }
+
+    /// Loads the public target objects (gas stations, restaurants, ...).
+    pub fn load_targets(&mut self, targets: impl IntoIterator<Item = (ObjectId, Point)>) {
+        self.core.link.plane.write().load_public_targets(targets);
+    }
+
+    /// Registers a mobile user: exact data stay at the anonymizer; the
+    /// server receives only the cloaked region under an opaque handle.
+    pub fn register_user(&mut self, uid: UserId, profile: Profile, pos: Point) {
+        self.core.execute(Request::Register { uid, profile, pos });
+    }
+
+    /// Processes a location update, refreshing the server-side cloaked
+    /// region.
+    pub fn move_user(&mut self, uid: UserId, pos: Point) -> MaintenanceStats {
+        match self.core.execute(Request::UpdateLocation { uid, pos }) {
+            Response::Maintained(s) => s,
+            _ => MaintenanceStats::ZERO,
+        }
+    }
+
+    /// Changes a user's privacy profile at runtime.
+    pub fn change_profile(&mut self, uid: UserId, profile: Profile) {
+        self.core.execute(Request::UpdateProfile { uid, profile });
+    }
+
+    /// Removes a user from the system entirely.
+    pub fn sign_off(&mut self, uid: UserId) {
+        self.core.execute(Request::SignOff { uid });
+    }
+
+    /// A private NN query over public data, end to end: cloak the
+    /// querying user, run Algorithm 2, model the candidate-list
+    /// transmission, refine locally at the client.
+    pub fn query_nn(&mut self, uid: UserId) -> Option<EndToEndAnswer> {
+        self.query_nn_with(uid, self.core.filters)
+    }
+
+    /// [`Casper::query_nn`] with an explicit filter-count variant —
+    /// the hook used by [`crate::FilterPolicy`]-driven deployments.
+    pub fn query_nn_with(&mut self, uid: UserId, filters: FilterCount) -> Option<EndToEndAnswer> {
+        self.core.query(uid, filters, None, false)?.answered()
+    }
+
+    /// A private NN query over *private* data ("where is my nearest
+    /// buddy?"), end to end.
+    pub fn query_nn_private(&mut self, uid: UserId) -> Option<EndToEndAnswer> {
+        self.core.query(uid, self.core.filters, None, true)?.answered()
+    }
+
+    /// A public (administrator) count query over the private store: goes
+    /// straight to the server, bypassing the anonymizer (Figure 1).
+    pub fn admin_count(&self, area: &Rect) -> RangeAnswer {
+        match self.core.link.plane.execute(Request::AdminCount { area: *area }) {
+            Response::Count(ans) => ans,
+            _ => unreachable!("the plane always counts"),
+        }
+    }
+
+    /// Read access to the anonymizer (harnesses, tests).
+    pub fn anonymizer(&self) -> &Anonymizer<P> {
+        &self.core.anonymizer
+    }
+
+    /// The configured filter-count variant.
+    pub fn filter_count(&self) -> FilterCount {
+        self.core.filters
+    }
+
+    /// Read access to the server (harnesses, tests).
+    pub fn server(&self) -> impl std::ops::Deref<Target = CasperServer> + '_ {
+        self.core.link.plane.read()
+    }
+
+    /// Mutable access to the anonymizer (e.g. for cloaking queries whose
+    /// candidate lists are processed outside the built-in pipeline).
+    pub fn anonymizer_mut(&mut self) -> &mut Anonymizer<P> {
+        &mut self.core.anonymizer
+    }
+
+    /// Mutable access to the server (e.g. categorised target loading).
+    pub fn server_mut(&mut self) -> impl std::ops::DerefMut<Target = CasperServer> + '_ {
+        self.core.link.plane.write()
+    }
+}
+
+impl<P: PyramidStructure> Engine for Casper<P> {
+    fn execute(&mut self, req: Request) -> Response {
+        self.core.execute(req)
+    }
+}
+
 /// The Casper framework with a *real* network boundary between the
 /// trusted anonymizer and the privacy-aware server.
 ///
@@ -325,17 +620,7 @@ impl QueryOutcome {
 /// [`QueryOutcome::Degraded`].
 #[derive(Debug)]
 pub struct RemoteCasper<P: PyramidStructure> {
-    anonymizer: Anonymizer<P>,
-    net: NetworkClient,
-    client: CasperClient,
-    transmission: TransmissionModel,
-    /// Cloaked updates awaiting a reachable server: `handle → region`,
-    /// latest-wins per handle.
-    pending: BTreeMap<u64, Rect>,
-    pending_cap: usize,
-    dropped_updates: u64,
-    overwritten_updates: u64,
-    pending_high_water: usize,
+    core: PipelineCore<P, RemoteLink>,
 }
 
 impl<P: PyramidStructure> RemoteCasper<P> {
@@ -354,109 +639,52 @@ impl<P: PyramidStructure> RemoteCasper<P> {
         config: ClientConfig,
     ) -> Self {
         Self {
-            anonymizer,
-            net: NetworkClient::with_config(server, config),
-            client: CasperClient::new(),
-            transmission: TransmissionModel::default(),
-            pending: BTreeMap::new(),
-            pending_cap: DEFAULT_PENDING_CAP,
-            dropped_updates: 0,
-            overwritten_updates: 0,
-            pending_high_water: 0,
+            core: PipelineCore::new(anonymizer, RemoteLink::new(server, config)),
         }
     }
 
     /// Overrides the pending-update buffer bound.
     pub fn with_pending_cap(mut self, cap: usize) -> Self {
-        self.pending_cap = cap.max(1);
+        self.core.link.pending_cap = cap.max(1);
         self
     }
 
     /// Overrides the transmission model.
     pub fn with_transmission(mut self, model: TransmissionModel) -> Self {
-        self.transmission = model;
+        self.core.transmission = model;
         self
     }
 
     /// Registers a mobile user and pushes (or queues) the cloaked region.
     pub fn register_user(&mut self, uid: UserId, profile: Profile, pos: Point) {
-        self.anonymizer.register(uid, profile, pos);
-        self.push_region(uid);
+        self.core.execute(Request::Register { uid, profile, pos });
     }
 
     /// Processes a location update, refreshing (or queueing) the
     /// server-side cloaked region.
     pub fn move_user(&mut self, uid: UserId, pos: Point) -> MaintenanceStats {
-        let stats = self.anonymizer.update_location(uid, pos);
-        self.push_region(uid);
-        stats
+        match self.core.execute(Request::UpdateLocation { uid, pos }) {
+            Response::Maintained(s) => s,
+            _ => MaintenanceStats::ZERO,
+        }
     }
 
     /// Changes a user's privacy profile at runtime.
     pub fn change_profile(&mut self, uid: UserId, profile: Profile) {
-        self.anonymizer.update_profile(uid, profile);
-        self.push_region(uid);
+        self.core.execute(Request::UpdateProfile { uid, profile });
     }
 
     /// Removes a user from the anonymizer and stops replaying its region.
     /// (The wire protocol has no removal message yet, so the server keeps
     /// the last region until it restarts or the handle is reused.)
     pub fn sign_off(&mut self, uid: UserId) {
-        self.anonymizer.deregister(uid);
-        self.pending.remove(&uid.0);
-        #[cfg(feature = "telemetry")]
-        crate::tel::record_pending_depth(self.pending.len());
-        self.net.forget(PrivateHandle(uid.0));
-    }
-
-    /// Queues the user's current cloaked region and attempts delivery.
-    /// Transport failures are absorbed: the region stays queued.
-    fn push_region(&mut self, uid: UserId) {
-        let Some(region) = self.anonymizer.cloak_region_of(uid) else {
-            return;
-        };
-        if !self.pending.contains_key(&uid.0) && self.pending.len() >= self.pending_cap {
-            // Bounded buffer: evict the oldest queued handle. Its region
-            // is stale-but-k-anonymous on the server; we only lose
-            // freshness, never privacy.
-            if let Some((&evicted, _)) = self.pending.iter().next() {
-                self.pending.remove(&evicted);
-                self.dropped_updates += 1;
-                #[cfg(feature = "telemetry")]
-                crate::tel::record_pending_drop();
-            }
-        }
-        if self.pending.insert(uid.0, region.rect).is_some() {
-            // Latest-wins coalescing: a queued region for this user was
-            // replaced before it ever reached the server. Invisible in
-            // `pending.len()`, so it gets its own counter.
-            self.overwritten_updates += 1;
-            #[cfg(feature = "telemetry")]
-            crate::tel::record_pending_overwrite();
-        }
-        self.pending_high_water = self.pending_high_water.max(self.pending.len());
-        #[cfg(feature = "telemetry")]
-        crate::tel::record_pending_depth(self.pending.len());
-        let _ = self.flush_pending();
+        self.core.execute(Request::SignOff { uid });
     }
 
     /// Delivers queued cloaked updates until the buffer is empty or the
     /// transport fails. Returns how many were flushed.
     pub fn flush_pending(&mut self) -> Result<usize, NetError> {
-        let mut flushed = 0usize;
-        let result = loop {
-            let Some((&handle, &region)) = self.pending.iter().next() else {
-                break Ok(flushed);
-            };
-            if let Err(e) = self.net.push_update(PrivateHandle(handle), region) {
-                break Err(e);
-            }
-            self.pending.remove(&handle);
-            flushed += 1;
-        };
-        #[cfg(feature = "telemetry")]
-        crate::tel::record_pending_depth(self.pending.len());
-        result
+        self.core.link.flush()
     }
 
     /// A private NN query over public data through the real network
@@ -464,79 +692,17 @@ impl<P: PyramidStructure> RemoteCasper<P> {
     /// yields [`QueryOutcome::Answered`], an unreachable one
     /// [`QueryOutcome::Degraded`].
     pub fn query_nn(&mut self, uid: UserId) -> Option<QueryOutcome> {
-        let trace_id = mint_trace_id();
-        let t0 = Instant::now();
-        let query = self.anonymizer.cloak_query(uid)?;
-        let anonymizer_time = t0.elapsed();
-        #[cfg(feature = "telemetry")]
-        crate::tel::record_stage(trace_id, "anonymizer", "ok", anonymizer_time);
-        // Deliver queued updates first so the query runs against current
-        // state; failure means the server is unreachable → degrade.
-        #[cfg(feature = "telemetry")]
-        let t_flush = Instant::now();
-        if let Err(error) = self.flush_pending() {
-            self.anonymizer.resolve(query.pseudonym);
-            #[cfg(feature = "telemetry")]
-            {
-                crate::tel::record_stage(trace_id, "net_flush", "error", t_flush.elapsed());
-                crate::tel::record_degraded(trace_id, self.pending.len(), &error.to_string());
-            }
-            return Some(QueryOutcome::Degraded {
-                pending_updates: self.pending.len(),
-                error,
-                trace_id,
-            });
-        }
-        let t1 = Instant::now();
-        let candidates = match self.net.query_nn(query.pseudonym.0, query.region) {
-            Ok(c) => c,
-            Err(error) => {
-                self.anonymizer.resolve(query.pseudonym);
-                #[cfg(feature = "telemetry")]
-                {
-                    crate::tel::record_stage(trace_id, "query", "error", t1.elapsed());
-                    crate::tel::record_degraded(trace_id, self.pending.len(), &error.to_string());
-                }
-                return Some(QueryOutcome::Degraded {
-                    pending_updates: self.pending.len(),
-                    error,
-                    trace_id,
-                });
-            }
-        };
-        // Over a real socket the server's internal processing time is not
-        // reported back; the measured round trip stands in for it.
-        let query_time = t1.elapsed();
-        let transmission = self.transmission.time_for_records(candidates.len());
-        let pos = self.anonymizer.pyramid().position_of(uid)?;
-        let exact = self.client.refine_nn_entries(pos, &candidates);
-        self.anonymizer.resolve(query.pseudonym);
-        #[cfg(feature = "telemetry")]
-        {
-            crate::tel::record_stage(trace_id, "query", "ok", query_time);
-            crate::tel::record_stage(trace_id, "transmission", "ok", transmission);
-            crate::tel::record_answered();
-        }
-        Some(QueryOutcome::Answered(EndToEndAnswer {
-            exact,
-            candidates: candidates.len(),
-            breakdown: EndToEndBreakdown {
-                anonymizer: anonymizer_time,
-                query: query_time,
-                transmission,
-            },
-            trace_id,
-        }))
+        self.core.query(uid, self.core.filters, None, false)
     }
 
     /// Cloaked updates currently awaiting a reachable server.
     pub fn pending_updates(&self) -> usize {
-        self.pending.len()
+        self.core.link.pending.len()
     }
 
     /// Updates evicted from the bounded pending buffer so far.
     pub fn dropped_updates(&self) -> u64 {
-        self.dropped_updates
+        self.core.link.dropped_updates
     }
 
     /// Queued updates silently replaced by a newer region for the same
@@ -545,22 +711,28 @@ impl<P: PyramidStructure> RemoteCasper<P> {
     /// depth is unchanged by an overwrite — so they get their own
     /// counter.
     pub fn overwritten_updates(&self) -> u64 {
-        self.overwritten_updates
+        self.core.link.overwritten_updates
     }
 
     /// Highest pending-queue depth observed so far.
     pub fn pending_high_water(&self) -> usize {
-        self.pending_high_water
+        self.core.link.pending_high_water
     }
 
     /// Read access to the anonymizer (harnesses, tests).
     pub fn anonymizer(&self) -> &Anonymizer<P> {
-        &self.anonymizer
+        &self.core.anonymizer
     }
 
     /// Client-side resilience counters of the underlying transport.
     pub fn net_stats(&self) -> crate::net::ClientStats {
-        self.net.stats()
+        self.core.link.net.stats()
+    }
+}
+
+impl<P: PyramidStructure> Engine for RemoteCasper<P> {
+    fn execute(&mut self, req: Request) -> Response {
+        self.core.execute(req)
     }
 }
 
@@ -717,6 +889,43 @@ mod tests {
         let mut c = Casper::new(BasicAnonymizer::basic(6));
         assert!(c.query_nn(uid(404)).is_none());
         assert!(c.query_nn_private(uid(404)).is_none());
+    }
+
+    #[test]
+    fn engine_requests_match_method_calls() {
+        // The typed request plane and the method API are the same code
+        // path; drive one Casper through each and compare.
+        let mut via_methods = Casper::new(AdaptiveAnonymizer::adaptive(7));
+        let mut via_engine = Casper::new(AdaptiveAnonymizer::adaptive(7));
+        let mut rng = StdRng::seed_from_u64(9);
+        let targets: Vec<(ObjectId, Point)> = (0..100)
+            .map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen())))
+            .collect();
+        via_methods.load_targets(targets.iter().copied());
+        via_engine.load_targets(targets.iter().copied());
+        for i in 0..20u64 {
+            let pos = Point::new(rng.gen(), rng.gen());
+            via_methods.register_user(uid(i), Profile::new(3, 0.0), pos);
+            via_engine.execute(Request::Register {
+                uid: uid(i),
+                profile: Profile::new(3, 0.0),
+                pos,
+            });
+        }
+        for i in 0..20u64 {
+            let a = via_methods.query_nn(uid(i)).unwrap();
+            let Response::Outcome(Some(QueryOutcome::Answered(b))) =
+                via_engine.execute(Request::QueryNn {
+                    uid: uid(i),
+                    filters: None,
+                    category: None,
+                })
+            else {
+                panic!("engine query failed for user {i}");
+            };
+            assert_eq!(a.exact.map(|e| e.id), b.exact.map(|e| e.id));
+            assert_eq!(a.candidates, b.candidates);
+        }
     }
 
     use crate::net::NetworkServer;

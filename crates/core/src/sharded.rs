@@ -1,5 +1,5 @@
-//! A sharded location anonymizer: horizontal scale-out of the trusted
-//! third party.
+//! A sharded, *concurrent* location anonymizer: horizontal scale-out of
+//! the trusted third party.
 //!
 //! One anonymizer process per metro area does not survive planet-scale
 //! deployments. This module splits the pyramid at a fixed `shard_level`:
@@ -8,8 +8,15 @@
 //! coordinator keeps only the *top* of the pyramid — per-shard population
 //! counts — to serve requests that cannot be satisfied inside one shard.
 //!
-//! Cloaking therefore stays local for the overwhelming majority of users
-//! (their `k` is met inside the shard) and escalates to the coordinator's
+//! The shard is also the **concurrency unit**: every shard pyramid sits
+//! behind its own `RwLock`, the coordinator tier is a row of atomic
+//! population counters (read lock-free by escalated cloaks), and all
+//! public methods take `&self` — updates and cloaks for *different*
+//! shards execute in parallel, which is what the
+//! [`crate::engine::ParallelEngine`] worker pool exploits.
+//!
+//! Cloaking stays local for the overwhelming majority of users (their
+//! `k` is met inside the shard) and escalates to the coordinator's
 //! coarse levels only for very strict profiles, preserving Algorithm 1's
 //! guarantees globally:
 //!
@@ -25,40 +32,63 @@
 //! its users escalate to the coordinator's coarse levels — coarser regions
 //! than usual, but still k-anonymous and still grid-aligned, so privacy is
 //! never traded for availability.
+//!
+//! # Lock discipline
+//!
+//! No method ever holds two locks at once: the home table is read,
+//! copied, and released before any shard lock is taken, and a cross-shard
+//! migration locks the old shard, then — after releasing it — the new
+//! one. Between those two sections the migrating user is in *no* shard;
+//! the atomic population counters therefore transiently under-count,
+//! which is the safe direction for k-anonymity (a cloak can only come out
+//! coarser, never tighter, than the truth warrants). A concurrent cloak
+//! that catches a user mid-migration retries briefly and finally falls
+//! back to coordinator escalation, which needs no shard lock at all.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 use casper_geometry::{Point, Rect};
 use casper_grid::{
     bottom_up_cloak, AdaptivePyramid, CellId, CellStore, CloakedRegion, MaintenanceStats, Profile,
     PyramidStructure, UserId,
 };
+use parking_lot::{Mutex, RwLock};
 
 /// The sharded anonymizer: `4^shard_level` adaptive shard pyramids plus a
 /// count-only coordinator for the levels above `shard_level`.
 #[derive(Debug)]
 pub struct ShardedAnonymizer {
     shard_level: u8,
-    /// Row-major `2^shard_level x 2^shard_level` shard pyramids.
-    shards: Vec<AdaptivePyramid>,
+    /// Row-major `2^shard_level x 2^shard_level` shard pyramids, each
+    /// behind its own lock — the unit of write parallelism.
+    shards: Vec<RwLock<AdaptivePyramid>>,
     /// Users' current shard and *original* (global-units) profile: the
     /// shard holds a rescaled copy, and rescaling is lossy when `a_min`
     /// exceeds the shard area, so escalation uses this original.
-    homes: casper_grid::FastMap<UserId, (u16, Profile)>,
+    homes: RwLock<casper_grid::FastMap<UserId, (u16, Profile)>>,
+    /// The coordinator tier: per-shard population counters kept in step
+    /// with the shard pyramids. Escalated cloaks read these lock-free
+    /// instead of touching any shard lock.
+    populations: Vec<AtomicU32>,
     /// Per-shard availability; quarantined shards serve nothing directly.
-    offline: Vec<bool>,
+    offline: Vec<AtomicBool>,
     /// Location updates parked while their shard is quarantined, in
     /// arrival order (bounded by `parked_cap`, oldest evicted first).
-    parked: VecDeque<(UserId, Point)>,
+    parked: Mutex<VecDeque<(UserId, Point)>>,
     parked_cap: usize,
-    dropped_parked: u64,
+    dropped_parked: AtomicU64,
 }
 
 /// Default bound on the parked-update queue of a [`ShardedAnonymizer`].
 pub const DEFAULT_PARKED_CAP: usize = 10_000;
 
+/// How often a cloak re-reads the home table when it catches its user
+/// mid-migration before falling back to coordinator escalation.
+const MIGRATION_RETRIES: usize = 8;
+
 /// Coordinator view: cell counts above (and at) the shard level, derived
-/// from shard populations.
+/// from the atomic shard populations — no shard lock required.
 struct TopCounts<'a> {
     anonymizer: &'a ShardedAnonymizer,
 }
@@ -76,7 +106,7 @@ impl CellStore for TopCounts<'_> {
         let mut total = 0u32;
         for sy in (cid.y * span)..((cid.y + 1) * span) {
             for sx in (cid.x * span)..((cid.x + 1) * span) {
-                total += a.shards[(sy * extent + sx) as usize].user_count() as u32;
+                total += a.populations[(sy * extent + sx) as usize].load(Ordering::Acquire);
             }
         }
         total
@@ -96,13 +126,14 @@ impl ShardedAnonymizer {
         Self {
             shard_level,
             shards: (0..shard_count)
-                .map(|_| AdaptivePyramid::new(global_height - shard_level))
+                .map(|_| RwLock::new(AdaptivePyramid::new(global_height - shard_level)))
                 .collect(),
-            homes: casper_grid::FastMap::default(),
-            offline: vec![false; shard_count],
-            parked: VecDeque::new(),
+            homes: RwLock::new(casper_grid::FastMap::default()),
+            populations: (0..shard_count).map(|_| AtomicU32::new(0)).collect(),
+            offline: (0..shard_count).map(|_| AtomicBool::new(false)).collect(),
+            parked: Mutex::new(VecDeque::new()),
             parked_cap: DEFAULT_PARKED_CAP,
-            dropped_parked: 0,
+            dropped_parked: AtomicU64::new(0),
         }
     }
 
@@ -115,7 +146,11 @@ impl ShardedAnonymizer {
     /// Refreshes the telemetry gauges for one shard after a mutation.
     #[cfg(feature = "telemetry")]
     fn tel_shard(&self, idx: usize) {
-        crate::tel::record_shard_state(idx, self.shards[idx].user_count(), !self.offline[idx]);
+        crate::tel::record_shard_state(
+            idx,
+            self.populations[idx].load(Ordering::Relaxed) as usize,
+            !self.offline[idx].load(Ordering::Relaxed),
+        );
     }
 
     /// Number of shards.
@@ -125,12 +160,20 @@ impl ShardedAnonymizer {
 
     /// Total registered users across all shards.
     pub fn user_count(&self) -> usize {
-        self.homes.len()
+        self.homes.read().len()
     }
 
-    /// Users currently homed in shard `idx`.
+    /// Users currently homed in shard `idx` (from the coordinator's
+    /// atomic counter; transiently conservative during migrations).
     pub fn shard_population(&self, idx: usize) -> usize {
-        self.shards[idx].user_count()
+        self.populations[idx].load(Ordering::Acquire) as usize
+    }
+
+    /// The shard index a position falls into — the partition key the
+    /// engine's worker pool uses to give batches shard affinity.
+    pub fn shard_of(&self, pos: Point) -> usize {
+        let pos = Point::new(pos.x.clamp(0.0, 1.0), pos.y.clamp(0.0, 1.0));
+        self.shard_index(self.shard_cell(pos)) as usize
     }
 
     fn shard_cell(&self, pos: Point) -> CellId {
@@ -141,12 +184,26 @@ impl ShardedAnonymizer {
         (cell.y * CellId::grid_extent(self.shard_level) + cell.x) as u16
     }
 
+    fn cell_of_shard(&self, idx: u16) -> CellId {
+        let extent = CellId::grid_extent(self.shard_level);
+        CellId::new(self.shard_level, idx as u32 % extent, idx as u32 / extent)
+    }
+
     /// Maps a global position into the shard's unit space.
     fn to_local(&self, shard: CellId, pos: Point) -> Point {
         let r = shard.rect();
         Point::new(
             ((pos.x - r.min.x) / r.width()).clamp(0.0, 1.0),
             ((pos.y - r.min.y) / r.height()).clamp(0.0, 1.0),
+        )
+    }
+
+    /// Maps a shard-local point back into global coordinates.
+    fn to_global_point(&self, shard: CellId, local: Point) -> Point {
+        let r = shard.rect();
+        Point::new(
+            r.min.x + local.x * r.width(),
+            r.min.y + local.y * r.height(),
         )
     }
 
@@ -168,12 +225,12 @@ impl ShardedAnonymizer {
 
     /// Registers a user (positions are sanitised like the single-node
     /// anonymizer: non-finite rejected, out-of-space clamped).
-    pub fn register(&mut self, uid: UserId, profile: Profile, pos: Point) -> MaintenanceStats {
+    pub fn register(&self, uid: UserId, profile: Profile, pos: Point) -> MaintenanceStats {
         if !pos.is_finite() {
             return MaintenanceStats::ZERO;
         }
         let pos = Point::new(pos.x.clamp(0.0, 1.0), pos.y.clamp(0.0, 1.0));
-        if self.homes.contains_key(&uid) {
+        if self.homes.read().contains_key(&uid) {
             let mut s = self.update_profile(uid, profile);
             s += self.update_location(uid, pos);
             return s;
@@ -182,8 +239,9 @@ impl ShardedAnonymizer {
         let idx = self.shard_index(cell);
         let local = self.to_local(cell, pos);
         let lp = self.local_profile(cell, profile);
-        let stats = self.shards[idx as usize].register(uid, lp, local);
-        self.homes.insert(uid, (idx, profile));
+        let stats = self.shards[idx as usize].write().register(uid, lp, local);
+        self.populations[idx as usize].fetch_add(1, Ordering::AcqRel);
+        self.homes.write().insert(uid, (idx, profile));
         #[cfg(feature = "telemetry")]
         self.tel_shard(idx as usize);
         stats
@@ -191,12 +249,12 @@ impl ShardedAnonymizer {
 
     /// Processes a location update, migrating the user between shards
     /// when she crosses a shard boundary.
-    pub fn update_location(&mut self, uid: UserId, pos: Point) -> MaintenanceStats {
+    pub fn update_location(&self, uid: UserId, pos: Point) -> MaintenanceStats {
         if !pos.is_finite() {
             return MaintenanceStats::ZERO;
         }
         let pos = Point::new(pos.x.clamp(0.0, 1.0), pos.y.clamp(0.0, 1.0));
-        let Some(&(home, profile)) = self.homes.get(&uid) else {
+        let Some((home, profile)) = self.homes.read().get(&uid).copied() else {
             return MaintenanceStats::ZERO;
         };
         let cell = self.shard_cell(pos);
@@ -204,20 +262,27 @@ impl ShardedAnonymizer {
         // Degraded mode: if either the user's home shard or the shard she
         // is moving into is quarantined, the update cannot be applied —
         // park it (bounded) for [`ShardedAnonymizer::restore_shard`].
-        if self.offline[home as usize] || self.offline[idx as usize] {
+        if self.offline[home as usize].load(Ordering::Acquire)
+            || self.offline[idx as usize].load(Ordering::Acquire)
+        {
             self.park(uid, pos);
             return MaintenanceStats::ZERO;
         }
         let local = self.to_local(cell, pos);
         if idx == home {
-            return self.shards[idx as usize].update_location(uid, local);
+            return self.shards[idx as usize].write().update_location(uid, local);
         }
         // Cross-shard migration: deregister + register (shards are
-        // equal-sized, so the rescaled profile is identical).
+        // equal-sized, so the rescaled profile is identical). The two
+        // shard locks are taken strictly one after the other; in between
+        // the user is counted in neither shard, which under-counts —
+        // the conservative direction for every concurrent cloak.
         let lp = self.local_profile(cell, profile);
-        let mut stats = self.shards[home as usize].deregister(uid);
-        stats += self.shards[idx as usize].register(uid, lp, local);
-        self.homes.insert(uid, (idx, profile));
+        let mut stats = self.shards[home as usize].write().deregister(uid);
+        self.populations[home as usize].fetch_sub(1, Ordering::AcqRel);
+        stats += self.shards[idx as usize].write().register(uid, lp, local);
+        self.populations[idx as usize].fetch_add(1, Ordering::AcqRel);
+        self.homes.write().insert(uid, (idx, profile));
         #[cfg(feature = "telemetry")]
         {
             self.tel_shard(home as usize);
@@ -226,125 +291,262 @@ impl ShardedAnonymizer {
         stats
     }
 
-    fn park(&mut self, uid: UserId, pos: Point) {
-        if self.parked.len() >= self.parked_cap {
+    fn park(&self, uid: UserId, pos: Point) {
+        let mut parked = self.parked.lock();
+        if parked.len() >= self.parked_cap {
             // Dropping the *oldest* update loses only freshness: the
             // user's previous cloaked region remains valid and
             // k-anonymous.
-            self.parked.pop_front();
-            self.dropped_parked += 1;
+            parked.pop_front();
+            self.dropped_parked.fetch_add(1, Ordering::Relaxed);
             #[cfg(feature = "telemetry")]
             crate::tel::record_parked_drop();
         }
-        self.parked.push_back((uid, pos));
+        parked.push_back((uid, pos));
         #[cfg(feature = "telemetry")]
-        crate::tel::record_parked(self.parked.len());
+        crate::tel::record_parked(parked.len());
     }
 
     /// Marks a shard as failed. Its users keep getting (coarser) cloaks
     /// via coordinator escalation; updates touching it are parked.
-    pub fn quarantine_shard(&mut self, idx: usize) {
-        self.offline[idx] = true;
+    pub fn quarantine_shard(&self, idx: usize) {
+        self.offline[idx].store(true, Ordering::Release);
         #[cfg(feature = "telemetry")]
-        crate::tel::record_shard_transition(idx, self.shards[idx].user_count(), false);
+        crate::tel::record_shard_transition(
+            idx,
+            self.populations[idx].load(Ordering::Relaxed) as usize,
+            false,
+        );
     }
 
     /// Brings a shard back and drains the parked queue, re-applying every
     /// update whose shards are now online (others are re-parked). Returns
     /// how many parked updates were applied.
-    pub fn restore_shard(&mut self, idx: usize) -> usize {
-        self.offline[idx] = false;
+    pub fn restore_shard(&self, idx: usize) -> usize {
+        self.offline[idx].store(false, Ordering::Release);
         #[cfg(feature = "telemetry")]
-        crate::tel::record_shard_transition(idx, self.shards[idx].user_count(), true);
-        let drained: Vec<(UserId, Point)> = self.parked.drain(..).collect();
+        crate::tel::record_shard_transition(
+            idx,
+            self.populations[idx].load(Ordering::Relaxed) as usize,
+            true,
+        );
+        let drained: Vec<(UserId, Point)> = {
+            let mut parked = self.parked.lock();
+            parked.drain(..).collect()
+        };
         let before = drained.len();
         for (uid, pos) in drained {
             self.update_location(uid, pos);
         }
+        let still_parked = self.parked.lock().len();
         #[cfg(feature = "telemetry")]
-        crate::tel::record_parked(self.parked.len());
-        before - self.parked.len()
+        crate::tel::record_parked(still_parked);
+        before - still_parked
     }
 
     /// Whether shard `idx` is currently serving (not quarantined).
     pub fn shard_online(&self, idx: usize) -> bool {
-        !self.offline[idx]
+        !self.offline[idx].load(Ordering::Acquire)
     }
 
     /// Location updates currently parked behind quarantined shards.
     pub fn parked_updates(&self) -> usize {
-        self.parked.len()
+        self.parked.lock().len()
     }
 
     /// Parked updates evicted from the bounded queue so far.
     pub fn dropped_updates(&self) -> u64 {
-        self.dropped_parked
+        self.dropped_parked.load(Ordering::Relaxed)
     }
 
     /// Changes a user's privacy profile.
-    pub fn update_profile(&mut self, uid: UserId, profile: Profile) -> MaintenanceStats {
-        let Some(&(home, _)) = self.homes.get(&uid) else {
+    pub fn update_profile(&self, uid: UserId, profile: Profile) -> MaintenanceStats {
+        let Some((home, _)) = self.homes.read().get(&uid).copied() else {
             return MaintenanceStats::ZERO;
         };
-        let extent = CellId::grid_extent(self.shard_level);
-        let cell = CellId::new(self.shard_level, home as u32 % extent, home as u32 / extent);
+        let cell = self.cell_of_shard(home);
         let lp = self.local_profile(cell, profile);
-        self.homes.insert(uid, (home, profile));
-        self.shards[home as usize].update_profile(uid, lp)
+        self.homes.write().insert(uid, (home, profile));
+        self.shards[home as usize].write().update_profile(uid, lp)
     }
 
     /// Removes a user.
-    pub fn deregister(&mut self, uid: UserId) -> MaintenanceStats {
-        let Some((home, _)) = self.homes.remove(&uid) else {
+    pub fn deregister(&self, uid: UserId) -> MaintenanceStats {
+        let Some((home, _)) = self.homes.write().remove(&uid) else {
             return MaintenanceStats::ZERO;
         };
-        let stats = self.shards[home as usize].deregister(uid);
+        let stats = self.shards[home as usize].write().deregister(uid);
+        self.populations[home as usize].fetch_sub(1, Ordering::AcqRel);
         #[cfg(feature = "telemetry")]
         self.tel_shard(home as usize);
         stats
     }
 
+    /// Escalates to the coordinator's top levels from the user's home
+    /// cell, with the original (global-units) profile. Lock-free: counts
+    /// come from the atomic population tier.
+    fn escalate(&self, home_cell: CellId, profile: Profile) -> CloakedRegion {
+        let top = TopCounts { anonymizer: self };
+        bottom_up_cloak(&top, profile, home_cell)
+    }
+
     /// Cloaks a registered user: local Algorithm 1 inside her shard, with
     /// coordinator escalation when the shard cannot satisfy the profile.
     pub fn cloak_user(&self, uid: UserId) -> Option<CloakedRegion> {
-        let &(home, global_profile) = self.homes.get(&uid)?;
-        let extent = CellId::grid_extent(self.shard_level);
-        let cell = CellId::new(self.shard_level, home as u32 % extent, home as u32 / extent);
-        if self.offline[home as usize] {
-            // Degraded mode: the home shard cannot answer, but the
-            // coordinator knows its population and the user's home cell,
-            // so it escalates directly — a coarser region than the shard
-            // would give, yet still grid-aligned and still covering ≥ k
-            // real users. Availability degrades; privacy does not.
-            let top = TopCounts { anonymizer: self };
-            return Some(bottom_up_cloak(&top, global_profile, cell));
+        let mut lookup = self.homes.read().get(&uid).copied()?;
+        // A concurrent migration moves the user between shards with a
+        // window in which she is registered in neither; retry the
+        // home-table read a few times before escalating from the
+        // last-known home cell (coarser, but still k-anonymous and still
+        // a global grid cell).
+        for _ in 0..MIGRATION_RETRIES {
+            let (home, global_profile) = lookup;
+            let cell = self.cell_of_shard(home);
+            if self.offline[home as usize].load(Ordering::Acquire) {
+                // Degraded mode: the home shard cannot answer, but the
+                // coordinator knows its population and the user's home
+                // cell, so it escalates directly — a coarser region than
+                // the shard would give, yet still grid-aligned and still
+                // covering ≥ k real users. Availability degrades; privacy
+                // does not.
+                return Some(self.escalate(cell, global_profile));
+            }
+            let local_answer = {
+                let shard = self.shards[home as usize].read();
+                shard
+                    .profile_of(uid)
+                    .and_then(|lp| shard.cloak_user(uid).map(|region| (lp, region)))
+            };
+            let Some((local_profile, local)) = local_answer else {
+                // Mid-migration: the home table said shard `home`, but the
+                // user was not there when we looked. Re-read and retry.
+                std::thread::yield_now();
+                lookup = self.homes.read().get(&uid).copied()?;
+                continue;
+            };
+            // The local check uses shard-local units; additionally the
+            // global a_min must be reachable inside the shard at all.
+            let globally_ok = global_profile.a_min <= cell.area() + 1e-15;
+            if globally_ok && local_profile.satisfied_by(local.user_count, local.area()) {
+                // Satisfied locally: translate back to global coordinates.
+                let rect = self.to_global(cell, local.rect);
+                return Some(CloakedRegion {
+                    rect,
+                    cells: Vec::new(), // shard-local ids are not global cells
+                    user_count: local.user_count,
+                    level: self.shard_level + local.level,
+                    levels_climbed: local.levels_climbed,
+                });
+            }
+            // Escalate: climb the coordinator's top levels from the shard
+            // cell, with the original (global-units) profile.
+            return Some(self.escalate(cell, global_profile));
         }
-        let shard = &self.shards[home as usize];
-        let local_profile = shard.profile_of(uid)?;
-        let local = shard.cloak_user(uid)?;
-        // The local check uses shard-local units; additionally the global
-        // a_min must be reachable inside the shard at all.
-        let globally_ok = global_profile.a_min <= cell.area() + 1e-15;
-        if globally_ok && local_profile.satisfied_by(local.user_count, local.area()) {
-            // Satisfied locally: translate back to global coordinates.
-            let rect = self.to_global(cell, local.rect);
-            return Some(CloakedRegion {
-                rect,
-                cells: Vec::new(), // shard-local ids are not global cells
-                user_count: local.user_count,
-                level: self.shard_level + local.level,
-                levels_climbed: local.levels_climbed,
-            });
+        // The user kept migrating under us; answer from the coordinator
+        // tier, anchored at her latest home cell.
+        let (home, global_profile) = lookup;
+        Some(self.escalate(self.cell_of_shard(home), global_profile))
+    }
+
+    /// Exact position of a registered user (global coordinates). The
+    /// trusted tier legitimately knows this; it never leaves the process.
+    pub fn position_of(&self, uid: UserId) -> Option<Point> {
+        for _ in 0..MIGRATION_RETRIES {
+            let (home, _) = self.homes.read().get(&uid).copied()?;
+            let local = self.shards[home as usize].read().position_of(uid);
+            if let Some(local) = local {
+                return Some(self.to_global_point(self.cell_of_shard(home), local));
+            }
+            std::thread::yield_now();
         }
-        // Escalate: climb the coordinator's top levels from the shard
-        // cell, with the original (global-units) profile.
-        let top = TopCounts { anonymizer: self };
-        Some(bottom_up_cloak(&top, global_profile, cell))
+        None
+    }
+
+    /// The (global-units) privacy profile of a registered user.
+    pub fn profile_of(&self, uid: UserId) -> Option<Profile> {
+        self.homes.read().get(&uid).map(|&(_, p)| p)
     }
 
     /// Structural cost across all shards (cells materialised).
     pub fn maintained_cells(&self) -> usize {
-        self.shards.iter().map(|s| s.maintained_cells()).sum()
+        self.shards.iter().map(|s| s.read().maintained_cells()).sum()
+    }
+}
+
+/// The sharded anonymizer is itself a [`PyramidStructure`], so it drops
+/// into every assembly that is generic over one — `Casper`,
+/// `RemoteCasper`, `Anonymizer` — as well as the concurrent engine. The
+/// trait's `&mut` receivers simply delegate to the internally-synchronised
+/// `&self` methods.
+impl PyramidStructure for ShardedAnonymizer {
+    fn height(&self) -> u8 {
+        self.shard_level + self.shards[0].read().height()
+    }
+
+    fn register(&mut self, uid: UserId, profile: Profile, pos: Point) -> MaintenanceStats {
+        ShardedAnonymizer::register(self, uid, profile, pos)
+    }
+
+    fn update_location(&mut self, uid: UserId, pos: Point) -> MaintenanceStats {
+        ShardedAnonymizer::update_location(self, uid, pos)
+    }
+
+    fn update_profile(&mut self, uid: UserId, profile: Profile) -> MaintenanceStats {
+        ShardedAnonymizer::update_profile(self, uid, profile)
+    }
+
+    fn deregister(&mut self, uid: UserId) -> MaintenanceStats {
+        ShardedAnonymizer::deregister(self, uid)
+    }
+
+    fn cloak_user(&self, uid: UserId) -> Option<CloakedRegion> {
+        ShardedAnonymizer::cloak_user(self, uid)
+    }
+
+    fn cloak_point(&self, pos: Point, profile: Profile) -> CloakedRegion {
+        let pos = if pos.is_finite() {
+            Point::new(pos.x.clamp(0.0, 1.0), pos.y.clamp(0.0, 1.0))
+        } else {
+            Point::new(0.5, 0.5)
+        };
+        let cell = self.shard_cell(pos);
+        let idx = self.shard_index(cell) as usize;
+        if !self.offline[idx].load(Ordering::Acquire) {
+            let local = self.to_local(cell, pos);
+            let lp = self.local_profile(cell, profile);
+            let region = self.shards[idx].read().cloak_point(local, lp);
+            let globally_ok = profile.a_min <= cell.area() + 1e-15;
+            if globally_ok && lp.satisfied_by(region.user_count, region.area()) {
+                return CloakedRegion {
+                    rect: self.to_global(cell, region.rect),
+                    cells: Vec::new(),
+                    user_count: region.user_count,
+                    level: self.shard_level + region.level,
+                    levels_climbed: region.levels_climbed,
+                };
+            }
+        }
+        self.escalate(cell, profile)
+    }
+
+    fn position_of(&self, uid: UserId) -> Option<Point> {
+        ShardedAnonymizer::position_of(self, uid)
+    }
+
+    fn profile_of(&self, uid: UserId) -> Option<Profile> {
+        ShardedAnonymizer::profile_of(self, uid)
+    }
+
+    fn user_count(&self) -> usize {
+        ShardedAnonymizer::user_count(self)
+    }
+
+    fn user_ids(&self) -> Vec<UserId> {
+        self.homes.read().keys().copied().collect()
+    }
+
+    fn maintained_cells(&self) -> usize {
+        ShardedAnonymizer::maintained_cells(self)
     }
 }
 
@@ -372,7 +574,7 @@ mod tests {
 
     #[test]
     fn users_land_in_the_right_shard() {
-        let mut s = ShardedAnonymizer::new(6, 1); // 4 shards (quadrants)
+        let s = ShardedAnonymizer::new(6, 1); // 4 shards (quadrants)
         s.register(uid(1), Profile::RELAXED, Point::new(0.1, 0.1)); // bottom-left
         s.register(uid(2), Profile::RELAXED, Point::new(0.9, 0.1)); // bottom-right
         s.register(uid(3), Profile::RELAXED, Point::new(0.1, 0.9)); // top-left
@@ -385,7 +587,7 @@ mod tests {
 
     #[test]
     fn local_cloak_contains_user_and_meets_k() {
-        let mut s = ShardedAnonymizer::new(8, 2);
+        let s = ShardedAnonymizer::new(8, 2);
         // A cluster inside one shard.
         for i in 0..20 {
             s.register(
@@ -403,7 +605,7 @@ mod tests {
 
     #[test]
     fn strict_profiles_escalate_to_the_coordinator() {
-        let mut s = ShardedAnonymizer::new(8, 2);
+        let s = ShardedAnonymizer::new(8, 2);
         // 10 users in one shard, 30 elsewhere; k = 25 cannot be satisfied
         // locally.
         for i in 0..10 {
@@ -435,7 +637,7 @@ mod tests {
 
     #[test]
     fn cross_shard_movement_migrates_users() {
-        let mut s = ShardedAnonymizer::new(7, 1);
+        let s = ShardedAnonymizer::new(7, 1);
         s.register(uid(1), Profile::new(1, 0.0), Point::new(0.1, 0.1));
         assert_eq!(s.shard_population(0), 1);
         s.update_location(uid(1), Point::new(0.9, 0.9));
@@ -447,7 +649,7 @@ mod tests {
 
     #[test]
     fn a_min_is_respected_through_rescaling() {
-        let mut s = ShardedAnonymizer::new(9, 2);
+        let s = ShardedAnonymizer::new(9, 2);
         // a_min of 1/64 of the space = 1/4 of one (1/16-area) shard.
         let a_min = 1.0 / 64.0;
         for i in 0..10 {
@@ -467,7 +669,7 @@ mod tests {
 
     #[test]
     fn matches_single_node_guarantees_under_churn() {
-        let mut sharded = ShardedAnonymizer::new(8, 2);
+        let sharded = ShardedAnonymizer::new(8, 2);
         let mut single = AdaptivePyramid::new(8);
         let mut rng = StdRng::seed_from_u64(7);
         for i in 0..400u64 {
@@ -499,7 +701,7 @@ mod tests {
 
     #[test]
     fn quarantined_shard_parks_updates_and_restores() {
-        let mut s = ShardedAnonymizer::new(7, 1); // 4 shards
+        let s = ShardedAnonymizer::new(7, 1); // 4 shards
         for i in 0..10u64 {
             s.register(
                 uid(i),
@@ -534,7 +736,7 @@ mod tests {
 
     #[test]
     fn quarantined_shard_still_cloaks_with_k_anonymity() {
-        let mut s = ShardedAnonymizer::new(7, 1);
+        let s = ShardedAnonymizer::new(7, 1);
         for i in 0..10u64 {
             s.register(
                 uid(i),
@@ -558,7 +760,7 @@ mod tests {
 
     #[test]
     fn parked_queue_is_bounded_drop_oldest() {
-        let mut s = ShardedAnonymizer::new(7, 1).with_parked_cap(3);
+        let s = ShardedAnonymizer::new(7, 1).with_parked_cap(3);
         for i in 0..5u64 {
             s.register(
                 uid(i),
@@ -583,7 +785,7 @@ mod tests {
 
     #[test]
     fn unknown_and_invalid_inputs() {
-        let mut s = ShardedAnonymizer::new(6, 1);
+        let s = ShardedAnonymizer::new(6, 1);
         assert!(s.cloak_user(uid(9)).is_none());
         assert_eq!(
             s.update_location(uid(9), Point::new(0.5, 0.5)),
@@ -594,5 +796,41 @@ mod tests {
             MaintenanceStats::ZERO
         );
         assert_eq!(s.user_count(), 0);
+    }
+
+    #[test]
+    fn parallel_updates_and_cloaks_keep_guarantees() {
+        use std::sync::Arc;
+        let s = Arc::new(ShardedAnonymizer::new(8, 2));
+        for i in 0..256u64 {
+            let x = (i % 16) as f64 / 16.0 + 0.03;
+            let y = (i / 16) as f64 / 16.0 + 0.03;
+            s.register(uid(i), Profile::new(3, 0.0), Point::new(x, y));
+        }
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(t);
+                    // Each thread owns a disjoint quarter of the users, so
+                    // its own reads never race its own writes.
+                    let base = t * 64;
+                    for round in 0..200u64 {
+                        let id = uid(base + round % 64);
+                        let p = Point::new(rng.gen(), rng.gen());
+                        s.update_location(id, p);
+                        let region = s.cloak_user(id).expect("registered user must cloak");
+                        assert!(region.user_count >= 3, "k broken under contention");
+                        assert!(region.rect.contains(p), "cloak misses the user");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(s.user_count(), 256);
+        let total: usize = (0..16).map(|i| s.shard_population(i)).sum();
+        assert_eq!(total, 256, "population conserved after parallel churn");
     }
 }

@@ -24,18 +24,11 @@
 use casper_geometry::Point;
 
 use crate::hash::FastMap;
+use crate::user_entry::UserEntry;
 use crate::{
     bottom_up_cloak, CellId, CellStore, CloakedRegion, MaintenanceStats, Profile, PyramidStructure,
     UserId,
 };
-
-#[derive(Debug, Clone, Copy)]
-struct UserEntry {
-    profile: Profile,
-    pos: Point,
-    /// The *leaf* (lowest maintained) cell containing `pos`.
-    cid: CellId,
-}
 
 /// Summaries kept for leaf cells only.
 #[derive(Debug, Clone)]

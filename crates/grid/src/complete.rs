@@ -9,22 +9,11 @@
 use casper_geometry::Point;
 
 use crate::hash::FastMap;
+use crate::user_entry::UserEntry;
 use crate::{
     bottom_up_cloak, CellId, CellStore, CloakedRegion, MaintenanceStats, Profile, PyramidStructure,
     UserId,
 };
-
-/// Per-user state kept by the anonymizer's hash table:
-/// the paper's `(uid, profile, cid)` entry, extended with the exact
-/// position. (The anonymizer is the trusted party — it legitimately knows
-/// exact locations; they never leave it.)
-#[derive(Debug, Clone, Copy)]
-struct UserEntry {
-    profile: Profile,
-    pos: Point,
-    /// Cell at the lowest pyramid level containing `pos`.
-    cid: CellId,
-}
 
 /// The complete grid pyramid backing the basic location anonymizer.
 ///

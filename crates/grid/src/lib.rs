@@ -26,6 +26,7 @@ mod cloak;
 mod complete;
 pub mod hash;
 mod profile;
+mod user_entry;
 pub mod render;
 mod stats;
 #[cfg(feature = "telemetry")]

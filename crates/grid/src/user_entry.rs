@@ -1,0 +1,21 @@
+//! The per-user hash-table entry shared by every pyramid structure.
+
+use casper_geometry::Point;
+
+use crate::{CellId, Profile};
+
+/// Per-user state kept by the anonymizer's hash table: the paper's
+/// `(uid, profile, cid)` entry, extended with the exact position. (The
+/// anonymizer is the trusted party — it legitimately knows exact
+/// locations; they never leave it.)
+///
+/// `cid` is the cell the hash table points Algorithm 1 at: the cell at
+/// the lowest pyramid level containing `pos` for the complete pyramid,
+/// and the lowest *maintained* (leaf) cell containing `pos` for the
+/// adaptive pyramid.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct UserEntry {
+    pub(crate) profile: Profile,
+    pub(crate) pos: Point,
+    pub(crate) cid: CellId,
+}

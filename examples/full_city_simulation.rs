@@ -1,15 +1,17 @@
-//! The whole system in one run: a simulated city day.
+//! The whole system in one run: a simulated city day on the concurrent
+//! request plane.
 //!
 //! ```text
 //! cargo run --release --example full_city_simulation
 //! ```
 //!
-//! * 8 000 residents move along a synthetic road network, streaming
-//!   location updates through the adaptive anonymizer;
+//! * 8 000 residents move along a synthetic road network; every tick's
+//!   updates go through [`ParallelEngine::update_batch`], which fans them
+//!   out over the worker pool by shard;
 //! * the server holds categorised public data (gas stations, hospitals,
 //!   restaurants) and the residents' cloaked regions;
-//! * residents fire category-scoped nearest-neighbour queries through the
-//!   self-tuning filter policy; commuters run continuous queries;
+//! * residents fire category-scoped nearest-neighbour queries as typed
+//!   [`Request::QueryNn`] commands through the self-tuning filter policy;
 //! * the city's traffic office polls district counts and a density map;
 //! * at the end the server state is snapshotted, restored, and verified.
 
@@ -21,6 +23,7 @@ use std::time::Instant;
 
 const RESIDENTS: usize = 8_000;
 const TICKS: usize = 20;
+const WORKERS: usize = 4;
 
 fn main() {
     let started = Instant::now();
@@ -28,9 +31,13 @@ fn main() {
     let network = NetworkBuilder::new().build(&mut rng);
     let mut generator = MovingObjectGenerator::new(network, RESIDENTS, &mut rng);
 
-    let mut casper = Casper::new(AdaptiveAnonymizer::adaptive(9));
+    // One engine: a sharded anonymizer (a 9-level pyramid split at level
+    // 2 → 16 shards) behind the typed request plane, driven by a worker
+    // pool.
+    let engine = ParallelEngine::sharded(9, 2, WORKERS);
 
-    // Categorised public data.
+    // Categorised public data — registered directly at the server;
+    // public data bypasses the anonymizer (Figure 1).
     let categories = [
         (Category(1), "gas stations", 800),
         (Category(2), "hospitals", 60),
@@ -39,55 +46,71 @@ fn main() {
     let mut next_id = 0u64;
     for &(cat, _, n) in &categories {
         for p in uniform_targets(n, &mut rng) {
-            // Registered directly at the server — public data bypasses
-            // the anonymizer (Figure 1).
-            casper_server_upsert(&mut casper, ObjectId(next_id), p, cat);
+            engine.with_server_mut(|s| s.upsert_public_target_in(ObjectId(next_id), p, cat));
             next_id += 1;
         }
     }
 
-    // Residents register with heterogeneous privacy preferences.
-    for i in 0..RESIDENTS {
-        let profile = match i % 10 {
-            0..=5 => Profile::new(rng.gen_range(2..=20), 0.0), // casual
-            6..=8 => Profile::new(rng.gen_range(20..=80), 5e-5), // cautious
-            _ => Profile::new(rng.gen_range(80..=200), 5e-4),  // paranoid
-        };
-        casper.register_user(UserId(i as u64), profile, generator.object(i).position());
-    }
+    // Residents register with heterogeneous privacy preferences — one
+    // batch, partitioned across the pool by shard.
+    let residents: Vec<(UserId, Profile, Point)> = (0..RESIDENTS)
+        .map(|i| {
+            let profile = match i % 10 {
+                0..=5 => Profile::new(rng.gen_range(2..=20), 0.0), // casual
+                6..=8 => Profile::new(rng.gen_range(20..=80), 5e-5), // cautious
+                _ => Profile::new(rng.gen_range(80..=200), 5e-4),  // paranoid
+            };
+            (UserId(i as u64), profile, generator.object(i).position())
+        })
+        .collect();
+    let registered = engine.register_batch(residents);
+    assert_eq!(registered, RESIDENTS);
 
     let mut policy = FilterPolicy::new(TransmissionModel::default());
-    let mut commuter = casper.continuous_nn(UserId(1));
     let district = Rect::from_coords(0.3, 0.3, 0.6, 0.6);
     let mut queries = 0usize;
     let mut wrong = 0usize;
 
     for tick in 0..TICKS {
-        // Everyone drives; the anonymizer re-cloaks movers.
-        for (i, pos) in generator.tick(1.0, &mut rng) {
-            casper.move_user(UserId(i as u64), pos);
-        }
+        // Everyone drives; one batch per tick re-cloaks all movers in
+        // parallel, shard by shard.
+        let moves: Vec<(UserId, Point)> = generator
+            .tick(1.0, &mut rng)
+            .into_iter()
+            .map(|(i, pos)| (UserId(i as u64), pos))
+            .collect();
+        engine.update_batch(moves);
+
         // A wave of private category queries through the tuned policy.
         for _ in 0..50 {
             let uid = UserId(rng.gen_range(0..RESIDENTS as u64));
             let cat = categories[rng.gen_range(0..categories.len())].0;
             let fc = policy.choose();
-            let query = match casper_query_category(&mut casper, uid, cat, fc) {
-                Some(q) => q,
-                None => continue,
+            let Response::Outcome(Some(outcome)) = engine.submit(Request::QueryNn {
+                uid,
+                filters: Some(fc),
+                category: Some(cat),
+            }) else {
+                continue;
             };
-            policy.record(fc, query.0, query.1);
+            let Some(answer) = outcome.answered() else {
+                continue;
+            };
+            policy.record(fc, answer.candidates, answer.breakdown.query);
             queries += 1;
-            if !query.2 {
+            if !verify_exact(&engine, uid, cat, &answer) {
                 wrong += 1;
             }
         }
-        // The commuter's continuous query stays fresh.
-        casper.refresh_continuous(&mut commuter).unwrap();
-        // Traffic office: anonymous district analytics.
+
+        // Traffic office: anonymous district analytics, straight to the
+        // server tier of the same request plane.
         if tick % 5 == 4 {
-            let count = casper.admin_count(&district);
-            let density = casper.server().density(8);
+            let Response::Count(count) = engine.submit(Request::AdminCount { area: district })
+            else {
+                unreachable!("the plane always counts");
+            };
+            let density = engine.with_server(|s| s.density(8));
             println!(
                 "tick {tick:>2}: district expects {:7.1} cars in [{}..{}]; hottest 1/64 cell ≈ {:.0}",
                 count.expected_count,
@@ -100,60 +123,51 @@ fn main() {
 
     println!("\nprivate category queries : {queries} ({wrong} wrong — must be 0)");
     assert_eq!(wrong, 0, "every refined answer must be exact");
-    println!(
-        "continuous query reuse   : {:.0}% of {} refreshes",
-        100.0 * commuter.reuse_ratio(),
-        commuter.reevaluations + commuter.reuses
-    );
 
-    // Snapshot / restore round trip.
-    let image = snapshot::save(casper.server());
+    // Snapshot / restore round trip, through the shared server plane.
+    let image = engine.with_server(snapshot::save);
     let restored = snapshot::load(image.clone()).expect("snapshot must load");
-    assert_eq!(restored.public_count(), casper.server().public_count());
-    assert_eq!(restored.private_count(), casper.server().private_count());
+    assert_eq!(
+        restored.public_count(),
+        engine.with_server(|s| s.public_count())
+    );
+    assert_eq!(
+        restored.private_count(),
+        engine.with_server(|s| s.private_count())
+    );
     println!(
         "server snapshot          : {} KiB, restored and verified",
         image.len() / 1024
     );
     println!(
-        "simulated {TICKS} ticks with {RESIDENTS} residents in {:?}",
+        "simulated {TICKS} ticks with {RESIDENTS} residents on {WORKERS} workers in {:?}",
         started.elapsed()
     );
 }
 
-/// Registers a categorised target (helper keeping main readable).
-fn casper_server_upsert(
-    casper: &mut Casper<AdaptivePyramid>,
-    id: ObjectId,
-    pos: Point,
-    cat: Category,
-) {
-    casper.server_mut().upsert_public_target_in(id, pos, cat);
-}
-
-/// One category-scoped private query: returns (candidates, query time,
-/// answer verified exact).
-fn casper_query_category(
-    casper: &mut Casper<AdaptivePyramid>,
+/// Oracle check: the refined answer must be the category's true nearest
+/// target to the user's exact position.
+fn verify_exact(
+    engine: &ParallelEngine<ShardedAnonymizer>,
     uid: UserId,
     cat: Category,
-    fc: FilterCount,
-) -> Option<(usize, std::time::Duration, bool)> {
-    let query = casper.anonymizer_mut().cloak_query(uid)?;
-    let (list, stats) = casper.server().nn_public_in(&query.region, fc, cat);
-    let pos = casper.anonymizer().pyramid().position_of(uid)?;
-    let refined = CasperClient::new().refine_nn(pos, &list)?;
-    // Oracle check against the category's full contents.
-    let exact_ok = {
-        let all = casper
-            .server()
-            .nn_public_in(&Rect::unit(), FilterCount::One, cat)
-            .0;
-        let best = all
+    answer: &EndToEndAnswer,
+) -> bool {
+    let Some(refined) = answer.exact else {
+        return false;
+    };
+    let Some(pos) = engine.anonymizer().position_of(uid) else {
+        return false;
+    };
+    engine.with_server(|s| {
+        let all = s.nn_public_in(&Rect::unit(), FilterCount::One, cat).0;
+        let Some(best) = all
             .candidates
             .iter()
-            .min_by(|a, b| a.mbr.min.dist(pos).total_cmp(&b.mbr.min.dist(pos)))?;
+            .min_by(|a, b| a.mbr.min.dist(pos).total_cmp(&b.mbr.min.dist(pos)))
+        else {
+            return false;
+        };
         (best.mbr.min.dist(pos) - refined.mbr.min.dist(pos)).abs() < 1e-9
-    };
-    Some((list.len(), stats.processing, exact_ok))
+    })
 }

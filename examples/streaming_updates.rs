@@ -1,13 +1,17 @@
-//! High-rate location-update ingestion with the streaming anonymizer.
+//! High-rate location-update ingestion through the batch API of the
+//! concurrent request plane.
 //!
 //! ```text
 //! cargo run --release --example streaming_updates
 //! ```
 //!
-//! Four producer threads fire location updates (as a cellular backbone
-//! would) while the main thread keeps serving cloaked queries — the
-//! paper's efficiency requirement ("cope with the continuous movement of
-//! large numbers of mobile users") exercised concurrently.
+//! Four producer threads fire batched location updates (as a cellular
+//! backbone would) into one shared [`ParallelEngine`] while the main
+//! thread keeps serving cloaks — the paper's efficiency requirement
+//! ("cope with the continuous movement of large numbers of mobile
+//! users") exercised concurrently. Updates for different shards of the
+//! [`ShardedAnonymizer`] proceed in parallel; the cloaking reader never
+//! blocks on more than one shard lock.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -18,62 +22,75 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 const USERS: usize = 20_000;
 const UPDATES_PER_PRODUCER: usize = 50_000;
 const PRODUCERS: usize = 4;
+const BATCH: usize = 1_000;
 
 fn main() {
-    let streaming = Arc::new(StreamingAnonymizer::spawn(
-        AdaptiveAnonymizer::adaptive(9),
-        4096,
-    ));
+    // A 9-level pyramid split at level 2 → 16 shards, 4 pool workers.
+    let engine = Arc::new(ParallelEngine::sharded(9, 2, PRODUCERS));
 
-    // Register the population.
+    // Register the population in one partitioned batch.
     let mut rng = StdRng::seed_from_u64(3);
-    for i in 0..USERS {
-        streaming.register(
-            UserId(i as u64),
-            Profile::new(rng.gen_range(1..=50), 0.0),
-            Point::new(rng.gen(), rng.gen()),
-        );
-    }
-    streaming.flush();
+    let population: Vec<(UserId, Profile, Point)> = (0..USERS)
+        .map(|i| {
+            (
+                UserId(i as u64),
+                Profile::new(rng.gen_range(1..=50), 0.0),
+                Point::new(rng.gen(), rng.gen()),
+            )
+        })
+        .collect();
+    assert_eq!(engine.register_batch(population), USERS);
 
     let start = Instant::now();
     let mut producers = Vec::new();
     for p in 0..PRODUCERS {
-        let s = Arc::clone(&streaming);
+        let engine = Arc::clone(&engine);
         producers.push(std::thread::spawn(move || {
             let mut rng = StdRng::seed_from_u64(100 + p as u64);
-            for _ in 0..UPDATES_PER_PRODUCER {
-                let uid = UserId(rng.gen_range(0..USERS as u64));
-                s.update_location(uid, Point::new(rng.gen(), rng.gen()));
+            let mut sent = 0usize;
+            while sent < UPDATES_PER_PRODUCER {
+                let n = BATCH.min(UPDATES_PER_PRODUCER - sent);
+                let batch: Vec<(UserId, Point)> = (0..n)
+                    .map(|_| {
+                        (
+                            UserId(rng.gen_range(0..USERS as u64)),
+                            Point::new(rng.gen(), rng.gen()),
+                        )
+                    })
+                    .collect();
+                sent += engine.update_batch(batch);
             }
+            sent
         }));
     }
 
-    // Meanwhile: serve cloaked queries from the main thread.
-    let mut queries = 0usize;
+    // Meanwhile: serve cloaks from the main thread against the same
+    // engine. Reads take one shard lock each, so they interleave with
+    // the producers' per-shard writes.
+    let mut cloaks = 0usize;
     let mut rng = StdRng::seed_from_u64(500);
     while producers.iter().any(|p| !p.is_finished()) {
         let uid = UserId(rng.gen_range(0..USERS as u64));
-        if streaming.write(|a| a.cloak_query(uid)).is_some() {
-            queries += 1;
+        if let Response::Cloaked(Some(_)) = engine.submit(Request::Cloak { uid }) {
+            cloaks += 1;
         }
     }
-    for p in producers {
-        p.join().unwrap();
-    }
-    streaming.flush();
+    let total_updates: usize = producers.into_iter().map(|p| p.join().unwrap()).sum();
 
     let elapsed = start.elapsed();
-    let total_updates = PRODUCERS * UPDATES_PER_PRODUCER;
-    println!("=== streaming ingestion ===");
+    println!("=== batched concurrent ingestion ===");
     println!("location updates applied : {total_updates}");
-    println!("cloaked queries served   : {queries} (concurrently)");
+    println!("cloaked regions served   : {cloaks} (concurrently)");
     println!(
         "throughput               : {:.0} updates/s over {elapsed:?}",
         total_updates as f64 / elapsed.as_secs_f64()
     );
     println!(
         "registered users intact  : {}",
-        streaming.read(|a| a.user_count())
+        engine.anonymizer().user_count()
+    );
+    println!(
+        "server regions in step   : {}",
+        engine.with_server(|s| s.private_count())
     );
 }

@@ -61,9 +61,9 @@ pub mod prelude {
         CloakedUpdate, Pseudonym,
     };
     pub use casper_core::{
-        Casper, CasperClient, CasperServer, Category, ContinuousNn, EndToEndAnswer,
-        EndToEndBreakdown, FilterPolicy, PrivateHandle, ShardedAnonymizer, StreamingAnonymizer,
-        TransmissionModel,
+        AnonymizerService, Casper, CasperClient, CasperServer, Category, ContinuousNn, Engine,
+        EndToEndAnswer, EndToEndBreakdown, FilterPolicy, ParallelEngine, PrivateHandle, Request,
+        Response, ShardedAnonymizer, StreamingAnonymizer, TransmissionModel,
     };
     pub use casper_geometry::{Point, Rect};
     pub use casper_grid::{

@@ -1,0 +1,246 @@
+//! Integration test: the concurrent request plane under real thread
+//! contention.
+//!
+//! Eight owner threads hammer one shared
+//! [`ParallelEngine`]`<`[`ShardedAnonymizer`]`>` with interleaved
+//! register / update / cloak / query commands while a chaos thread
+//! quarantines and restores a shard mid-run. Every cloaked region that
+//! comes back is re-checked for the paper's guarantees:
+//!
+//! * **k-anonymity** — `user_count >= k` (Section 5, Algorithm 1);
+//! * **minimum area** — `area >= A_min`;
+//! * **grid alignment** — the region is a union of pyramid cells, so
+//!   its coordinates are integral multiples of `1/2^level`;
+//! * **containment** — the region covers the user's exact position.
+//!
+//! Containment is only asserted in *stable* windows: a shared epoch
+//! counter is odd while a quarantine/restore cycle is in flight (parked
+//! updates make positions intentionally stale then), and an owner only
+//! re-checks containment when the epoch was even and unchanged across
+//! its whole update→cloak→re-read sequence. The first three guarantees
+//! are unconditional — degraded mode may coarsen regions, never shrink
+//! them below the profile.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use casper::core::ShardedAnonymizer;
+use casper::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const GLOBAL_HEIGHT: u8 = 8;
+const SHARD_LEVEL: u8 = 2; // 16 shards
+const OWNERS: usize = 8;
+const UIDS_PER_OWNER: u64 = 40;
+const ITERS: usize = 120;
+const BACKGROUND: u64 = 64;
+const CHAOS_CYCLES: usize = 3;
+
+/// A cloaked region is a union of one or two same-level pyramid cells,
+/// so all four coordinates must sit on the level's grid lines.
+fn grid_aligned(rect: &Rect, level: u8) -> bool {
+    let scale = (1u64 << level) as f64;
+    [rect.min.x, rect.min.y, rect.max.x, rect.max.y]
+        .iter()
+        .all(|v| {
+            let scaled = v * scale;
+            (scaled - scaled.round()).abs() < 1e-9
+        })
+}
+
+#[test]
+fn eight_threads_with_shard_chaos_keep_every_guarantee() {
+    let engine: Arc<ParallelEngine<ShardedAnonymizer>> =
+        Arc::new(ParallelEngine::sharded(GLOBAL_HEIGHT, SHARD_LEVEL, OWNERS));
+
+    let mut rng = StdRng::seed_from_u64(11);
+    engine.load_targets((0..400u64).map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen()))));
+
+    // Background population spread over the space so small k values are
+    // always satisfiable even while one shard is quarantined.
+    for i in 0..BACKGROUND {
+        let resp = engine.submit(Request::Register {
+            uid: UserId(1_000_000 + i),
+            profile: Profile::new(1, 0.0),
+            pos: Point::new(rng.gen(), rng.gen()),
+        });
+        assert!(matches!(resp, Response::Maintained(_)));
+    }
+
+    // Even = no quarantine in flight; odd = a cycle is running. Owners
+    // read it around each op to decide whether containment is checkable.
+    let epoch = Arc::new(AtomicU64::new(0));
+
+    let mut owners = Vec::new();
+    for t in 0..OWNERS {
+        let engine = Arc::clone(&engine);
+        let epoch = Arc::clone(&epoch);
+        owners.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(40 + t as u64);
+            let base = t as u64 * UIDS_PER_OWNER;
+
+            // Each owner registers a disjoint uid range, then loops
+            // interleaved update / cloak / query commands over it.
+            for u in 0..UIDS_PER_OWNER {
+                let profile = Profile::new(rng.gen_range(2..=8), if u % 3 == 0 { 1e-3 } else { 0.0 });
+                let resp = engine.submit(Request::Register {
+                    uid: UserId(base + u),
+                    profile,
+                    pos: Point::new(rng.gen(), rng.gen()),
+                });
+                assert!(matches!(resp, Response::Maintained(_)));
+            }
+
+            for i in 0..ITERS {
+                let uid = UserId(base + rng.gen_range(0..UIDS_PER_OWNER));
+                let e_before = epoch.load(Ordering::SeqCst);
+
+                let pos = Point::new(rng.gen(), rng.gen());
+                let resp = engine.submit(Request::UpdateLocation { uid, pos });
+                assert!(matches!(resp, Response::Maintained(_)));
+
+                let Response::Cloaked(Some(region)) = engine.submit(Request::Cloak { uid }) else {
+                    panic!("owner {t}: cloak of registered user {uid:?} failed");
+                };
+                let profile = engine.anonymizer().profile_of(uid).expect("profile");
+                assert!(
+                    region.user_count >= profile.k,
+                    "owner {t} iter {i}: k-anonymity broken: {} < k={}",
+                    region.user_count,
+                    profile.k
+                );
+                assert!(
+                    region.rect.area() + 1e-12 >= profile.a_min,
+                    "owner {t} iter {i}: area {} < A_min {}",
+                    region.rect.area(),
+                    profile.a_min
+                );
+                assert!(
+                    grid_aligned(&region.rect, region.level),
+                    "owner {t} iter {i}: {:?} not aligned to level {}",
+                    region.rect,
+                    region.level
+                );
+
+                let e_after = epoch.load(Ordering::SeqCst);
+                if e_before == e_after && e_before % 2 == 0 {
+                    // Stable window: no parked updates can make this uid's
+                    // position stale, so the region must cover it.
+                    let p = engine.anonymizer().position_of(uid).expect("position");
+                    assert!(
+                        region.rect.contains(p),
+                        "owner {t} iter {i}: stable-window region {:?} misses {p:?}",
+                        region.rect
+                    );
+                }
+
+                if i % 10 == 0 {
+                    let resp = engine.submit(Request::QueryNn {
+                        uid,
+                        filters: None,
+                        category: None,
+                    });
+                    let Response::Outcome(Some(outcome)) = resp else {
+                        panic!("owner {t} iter {i}: query did not produce an outcome");
+                    };
+                    let answer = outcome.answered().expect("the local plane always answers");
+                    assert!(
+                        answer.exact.is_some(),
+                        "owner {t} iter {i}: refinement found no candidate"
+                    );
+                }
+            }
+        }));
+    }
+
+    // Chaos thread: mid-run quarantine/restore cycles on shard 0.
+    let chaos = {
+        let engine = Arc::clone(&engine);
+        let epoch = Arc::clone(&epoch);
+        std::thread::spawn(move || {
+            for _ in 0..CHAOS_CYCLES {
+                std::thread::sleep(Duration::from_millis(20));
+                epoch.fetch_add(1, Ordering::SeqCst); // odd: cycle running
+                engine.anonymizer().quarantine_shard(0);
+                assert!(!engine.anonymizer().shard_online(0));
+                std::thread::sleep(Duration::from_millis(15));
+                engine.anonymizer().restore_shard(0);
+                epoch.fetch_add(1, Ordering::SeqCst); // even: drained, stable
+            }
+        })
+    };
+
+    for owner in owners {
+        owner.join().expect("owner thread panicked");
+    }
+    chaos.join().expect("chaos thread panicked");
+    assert!(engine.anonymizer().shard_online(0));
+    assert_eq!(epoch.load(Ordering::SeqCst), 2 * CHAOS_CYCLES as u64);
+
+    // Population conserved across every migration, park and drain.
+    let expected = BACKGROUND as usize + OWNERS * UIDS_PER_OWNER as usize;
+    assert_eq!(engine.anonymizer().user_count(), expected);
+    let total: usize = (0..engine.anonymizer().shard_count())
+        .map(|i| engine.anonymizer().shard_population(i))
+        .sum();
+    assert_eq!(total, expected);
+}
+
+#[test]
+fn batch_entry_points_agree_with_the_request_plane_under_contention() {
+    let engine: Arc<ParallelEngine<ShardedAnonymizer>> =
+        Arc::new(ParallelEngine::sharded(GLOBAL_HEIGHT, SHARD_LEVEL, 4));
+    let mut rng = StdRng::seed_from_u64(23);
+
+    let users: Vec<(UserId, Profile, Point)> = (0..500u64)
+        .map(|i| {
+            (
+                UserId(i),
+                Profile::new(rng.gen_range(1..=10), 0.0),
+                Point::new(rng.gen(), rng.gen()),
+            )
+        })
+        .collect();
+    assert_eq!(engine.register_batch(users), 500);
+
+    // Two threads feed update batches while a third cloaks via the
+    // single-request path; afterwards the batch cloaks must satisfy the
+    // same profiles.
+    let mut feeders = Vec::new();
+    for f in 0..2u64 {
+        let engine = Arc::clone(&engine);
+        feeders.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(70 + f);
+            for _ in 0..20 {
+                let batch: Vec<(UserId, Point)> = (0..250)
+                    .map(|_| (UserId(rng.gen_range(0..500)), Point::new(rng.gen(), rng.gen())))
+                    .collect();
+                assert_eq!(engine.update_batch(batch), 250);
+            }
+        }));
+    }
+    let mut singles = 0usize;
+    while feeders.iter().any(|h| !h.is_finished()) {
+        let uid = UserId(rng.gen_range(0..500));
+        if let Response::Cloaked(Some(_)) = engine.submit(Request::Cloak { uid }) {
+            singles += 1;
+        }
+    }
+    for f in feeders {
+        f.join().expect("feeder thread panicked");
+    }
+    assert!(singles > 0, "the single-request path never got a cloak in");
+
+    let uids: Vec<UserId> = (0..500).map(UserId).collect();
+    let regions = engine.cloak_batch(&uids);
+    for (uid, region) in uids.iter().zip(&regions) {
+        let region = region.as_ref().expect("every registered user cloaks");
+        let profile = engine.anonymizer().profile_of(*uid).expect("profile");
+        assert!(region.user_count >= profile.k);
+        assert!(grid_aligned(&region.rect, region.level));
+        let pos = engine.anonymizer().position_of(*uid).expect("position");
+        assert!(region.rect.contains(pos));
+    }
+    assert_eq!(engine.anonymizer().user_count(), 500);
+}
