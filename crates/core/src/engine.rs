@@ -294,6 +294,13 @@ impl ServerPlane {
         self.boot_id
     }
 
+    /// Replaces the boot id. Only sensible before the plane serves
+    /// traffic — the durability layer calls this after recovery so the
+    /// §8 restart-detection machinery sees a fresh boot.
+    pub fn set_boot_id(&mut self, boot_id: u64) {
+        self.boot_id = boot_id;
+    }
+
     /// Mints a fresh, plane-monotone sequence number.
     pub fn mint_seq(&self) -> u64 {
         self.next_seq.fetch_add(1, Ordering::Relaxed)
@@ -433,6 +440,10 @@ pub trait AnonymizerService: Send + Sync {
     fn profile_of(&self, uid: UserId) -> Option<Profile>;
     /// Number of registered users.
     fn user_count(&self) -> usize;
+    /// Ids of every registered user (unordered). The durability layer
+    /// checkpoints through this; services that cannot enumerate users
+    /// cannot be made crash-safe.
+    fn user_ids(&self) -> Vec<UserId>;
     /// Which internal partition a position belongs to — the affinity key
     /// batch entry points use to give each worker thread its own shards.
     /// Unsharded services use a single partition.
@@ -484,6 +495,10 @@ impl<P: PyramidStructure + Send + Sync> AnonymizerService for RwLock<P> {
     fn user_count(&self) -> usize {
         self.read().user_count()
     }
+
+    fn user_ids(&self) -> Vec<UserId> {
+        self.read().user_ids()
+    }
 }
 
 /// The sharded anonymizer joins the service natively: its own internal
@@ -520,6 +535,10 @@ impl AnonymizerService for crate::ShardedAnonymizer {
 
     fn user_count(&self) -> usize {
         crate::ShardedAnonymizer::user_count(self)
+    }
+
+    fn user_ids(&self) -> Vec<UserId> {
+        PyramidStructure::user_ids(self)
     }
 
     fn shard_hint(&self, pos: Point) -> usize {
@@ -835,6 +854,14 @@ impl<A: AnonymizerService + 'static> ParallelEngine<A> {
     /// Overrides the filter-count variant of the query processor.
     pub fn with_filters(mut self, filters: FilterCount) -> Self {
         self.configure().filters = filters;
+        self
+    }
+
+    /// Overrides the server plane's boot id (§8 restart detection).
+    /// The durability layer passes the recovered boot epoch here so
+    /// clients' idempotent replay composes with crash recovery.
+    pub fn with_boot_id(mut self, boot_id: u64) -> Self {
+        self.configure().plane.set_boot_id(boot_id);
         self
     }
 

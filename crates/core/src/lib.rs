@@ -40,6 +40,10 @@
 //! * [`faults`] (feature `faults`, on by default) — a deterministic
 //!   chaos proxy that drops/corrupts/truncates/delays frames to test the
 //!   above.
+//! * [`durability`] (feature `durability`, on by default) — crash safety
+//!   for the trusted tier: a group-committing write-ahead log, `CSPA`
+//!   checkpoints, torn-tail recovery with boot-epoch bumping, and a
+//!   fault-injecting storage for kill-loop testing.
 //! * [`StreamingAnonymizer`] — a concurrent ingestion front that absorbs
 //!   high-rate location-update streams on a worker thread.
 
@@ -48,6 +52,8 @@
 mod client;
 mod continuous;
 mod cost;
+#[cfg(feature = "durability")]
+pub mod durability;
 pub mod engine;
 #[cfg(feature = "faults")]
 pub mod faults;
@@ -66,6 +72,11 @@ pub mod wire;
 pub use client::CasperClient;
 pub use continuous::ContinuousNn;
 pub use cost::TransmissionModel;
+#[cfg(feature = "durability")]
+pub use durability::{
+    recover_sharded_engine, DirStorage, DurabilityConfig, DurabilityError, DurableAnonymizer,
+    MemStorage, RecoveryReport, Storage,
+};
 pub use engine::{AnonymizerService, Engine, ParallelEngine, Request, Response, WorkerPool};
 pub use net::{ClientConfig, NetError, NetworkClient, NetworkServer, ServerConfig, MAX_FRAME_LEN};
 pub use pipeline::{Casper, EndToEndAnswer, EndToEndBreakdown, QueryOutcome, RemoteCasper};

@@ -160,6 +160,12 @@ pub struct ServerConfig {
     /// reachable over the wire protocol via [`Message::MetricsRequest`].
     #[cfg(feature = "telemetry")]
     pub metrics_http: Option<SocketAddr>,
+    /// Explicit boot id to echo in update acks instead of the minted
+    /// time-based one. Crash-recovered deployments pass the durability
+    /// layer's boot epoch here, so the §8 restart-detection signal fires
+    /// exactly once per recovery and is stable under clock trouble.
+    /// `None` (the default) mints a fresh id per spawn.
+    pub boot_id: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -170,6 +176,7 @@ impl Default for ServerConfig {
             max_connections: MAX_CONNECTIONS,
             #[cfg(feature = "telemetry")]
             metrics_http: None,
+            boot_id: None,
         }
     }
 }
@@ -281,7 +288,7 @@ impl NetworkServer {
         // the only reliable trigger for a full replay — a reconnect alone
         // is indistinguishable from a transient network blip.
         static BOOT_COUNTER: AtomicU64 = AtomicU64::new(1);
-        let boot_id = {
+        let boot_id = config.boot_id.unwrap_or_else(|| {
             let t = std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
                 .map(|d| d.as_nanos() as u64)
@@ -290,7 +297,7 @@ impl NetworkServer {
             // Counter in the high bits keeps same-process restarts
             // distinct even if the clock is coarse or stuck.
             (t ^ (n << 48)) | n
-        };
+        });
         let plane = Arc::new(ServerPlane::new(server, filters, boot_id));
         let stats = Arc::new(StatsInner::default());
         let stop = Arc::new(AtomicBool::new(false));

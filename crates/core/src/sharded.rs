@@ -471,6 +471,39 @@ impl ShardedAnonymizer {
     pub fn maintained_cells(&self) -> usize {
         self.shards.iter().map(|s| s.read().maintained_cells()).sum()
     }
+
+    /// Deep structural self-check across the whole sharded tier, used by
+    /// the durability layer's post-recovery verifier: every shard
+    /// pyramid's own invariants hold, shard populations sum to the home
+    /// table, and every home pointer resolves to a shard that actually
+    /// holds the user. Quiesce mutations before calling — a migration in
+    /// flight legitimately violates the pointer check mid-move.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let homes = self.homes.read();
+        let mut populations = 0usize;
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let shard = shard.read();
+            shard
+                .check_invariants()
+                .map_err(|e| format!("shard {idx}: {e}"))?;
+            populations += shard.user_count();
+        }
+        if populations != homes.len() {
+            return Err(format!(
+                "shard populations sum to {populations} but home table has {} users",
+                homes.len()
+            ));
+        }
+        for (&uid, &(home, _)) in homes.iter() {
+            let Some(shard) = self.shards.get(home as usize) else {
+                return Err(format!("{uid} points at nonexistent shard {home}"));
+            };
+            if shard.read().position_of(uid).is_none() {
+                return Err(format!("{uid} points at shard {home}, which does not hold it"));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The sharded anonymizer is itself a [`PyramidStructure`], so it drops

@@ -8,12 +8,18 @@
 //!
 //! ```text
 //! magic "CSPR" | version u16 | public count u32 | private count u32 |
-//! public records... | private records...
+//! public records... | private records... | crc u32 (version ≥ 2)
 //! ```
 //!
 //! Every record is `id u64 | rect 4 x f64 | pad`, 64 bytes, so
 //! `snapshot.len() ≈ 8 + 64 * (objects)` and the transmission model can
 //! price a snapshot transfer directly.
+//!
+//! Version 2 (current) appends a CRC-32 trailer over everything before
+//! it — same polynomial as the §7 wire frames and the durability WAL —
+//! so a snapshot corrupted at rest or in transit is rejected with
+//! [`SnapshotError::BadChecksum`] instead of silently restoring wrong
+//! regions. Version 1 snapshots (no trailer) still load.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use casper_geometry::{Point, Rect};
@@ -23,7 +29,10 @@ use crate::wire::RECORD_BYTES;
 use crate::{CasperServer, PrivateHandle};
 
 const MAGIC: &[u8; 4] = b"CSPR";
-const VERSION: u16 = 1;
+/// Legacy format: no integrity trailer.
+const VERSION_1: u16 = 1;
+/// Current format: CRC-32 trailer over the whole preceding buffer.
+const VERSION: u16 = 2;
 
 /// Snapshot decoding errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +43,8 @@ pub enum SnapshotError {
     BadVersion(u16),
     /// Buffer ended mid-record.
     Truncated,
+    /// The CRC-32 trailer did not match (bit rot, torn write, tampering).
+    BadChecksum,
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -42,6 +53,7 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::BadMagic => write!(f, "not a Casper snapshot"),
             SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
             SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadChecksum => write!(f, "snapshot checksum mismatch"),
         }
     }
 }
@@ -86,23 +98,38 @@ pub fn save(server: &CasperServer) -> Bytes {
     for e in &private {
         put_record(&mut buf, e.id.0, &e.mbr);
     }
+    let crc = crate::net::crc32(&buf);
+    buf.put_u32(crc);
     buf.freeze()
 }
 
-/// Restores a server from a snapshot buffer.
-pub fn load(mut bytes: Bytes) -> Result<CasperServer, SnapshotError> {
+/// Restores a server from a snapshot buffer. Version 2 snapshots are
+/// checksum-gated before any record is parsed; version 1 (pre-trailer)
+/// snapshots still load.
+pub fn load(bytes: Bytes) -> Result<CasperServer, SnapshotError> {
     if bytes.remaining() < 14 {
         return Err(SnapshotError::Truncated);
     }
-    let mut magic = [0u8; 4];
-    bytes.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    if &bytes[..4] != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
-    let version = bytes.get_u16();
-    if version != VERSION {
-        return Err(SnapshotError::BadVersion(version));
-    }
+    let version = u16::from_be_bytes([bytes[4], bytes[5]]);
+    let mut bytes = match version {
+        VERSION_1 => bytes,
+        VERSION => {
+            if bytes.len() < 18 {
+                return Err(SnapshotError::Truncated);
+            }
+            let split = bytes.len() - 4;
+            let stored = u32::from_be_bytes(bytes[split..].try_into().expect("4 bytes"));
+            if crate::net::crc32(&bytes[..split]) != stored {
+                return Err(SnapshotError::BadChecksum);
+            }
+            bytes.slice(0..split)
+        }
+        v => return Err(SnapshotError::BadVersion(v)),
+    };
+    bytes.advance(6); // past magic + version
     let public = bytes.get_u32() as usize;
     let private = bytes.get_u32() as usize;
     // The counts are attacker-controlled (snapshots may arrive over the
@@ -176,7 +203,8 @@ mod tests {
     fn snapshot_size_matches_record_model() {
         let s = populated_server(3);
         let bytes = save(&s);
-        assert_eq!(bytes.len(), 14 + RECORD_BYTES * (200 + 50));
+        // 14-byte header + records + 4-byte CRC trailer.
+        assert_eq!(bytes.len(), 14 + RECORD_BYTES * (200 + 50) + 4);
     }
 
     #[test]
@@ -194,22 +222,57 @@ mod tests {
             load(bad.freeze()),
             Err(SnapshotError::BadVersion(_))
         ));
-        // Truncated.
+        // Truncated: the shifted CRC window can no longer match.
         let cut = good.slice(0..good.len() - 10);
-        assert!(matches!(load(cut), Err(SnapshotError::Truncated)));
+        assert!(load(cut).is_err());
         // Empty.
         assert!(matches!(load(Bytes::new()), Err(SnapshotError::Truncated)));
     }
 
     #[test]
+    fn any_body_bit_flip_fails_the_checksum() {
+        let s = populated_server(7);
+        let good = save(&s);
+        // Flip one byte in a handful of positions across the counts,
+        // records and trailer; every flip past the version field must
+        // surface as BadChecksum.
+        for idx in [6, 10, 14, 64, 137, good.len() - 5, good.len() - 1] {
+            let mut bad = BytesMut::from(&good[..]);
+            bad[idx] ^= 0x20;
+            let err = load(bad.freeze()).map(|_| ()).unwrap_err();
+            assert_eq!(err, SnapshotError::BadChecksum, "flip at byte {idx}");
+        }
+    }
+
+    #[test]
+    fn version_1_snapshots_still_load() {
+        // A v1 snapshot is the v2 bytes minus the trailer, with the
+        // version field rewritten — exactly what old servers produced.
+        let s = populated_server(5);
+        let v2 = save(&s);
+        let mut v1 = BytesMut::from(&v2[..v2.len() - 4]);
+        v1[4] = 0;
+        v1[5] = 1;
+        let restored = load(v1.freeze()).unwrap();
+        assert_eq!(restored.public_count(), 200);
+        assert_eq!(restored.private_count(), 50);
+    }
+
+    #[test]
     fn hostile_counts_are_rejected_without_allocation() {
-        // A 14-byte header advertising u32::MAX records of each kind must
-        // fail fast, not reserve ~550 GiB.
+        // A header advertising u32::MAX records of each kind must fail
+        // fast, not reserve ~550 GiB — with or without a valid trailer.
         let mut buf = BytesMut::new();
         buf.put_slice(MAGIC);
         buf.put_u16(VERSION);
         buf.put_u32(u32::MAX);
         buf.put_u32(u32::MAX);
+        assert!(matches!(
+            load(buf.clone().freeze()),
+            Err(SnapshotError::Truncated)
+        ));
+        let crc = crate::net::crc32(&buf);
+        buf.put_u32(crc);
         assert!(matches!(
             load(buf.freeze()),
             Err(SnapshotError::Truncated)

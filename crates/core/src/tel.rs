@@ -313,6 +313,73 @@ fn shard_label(shard: usize) -> &'static str {
 }
 
 // ---------------------------------------------------------------------
+// Durability (WAL, checkpoints, recovery).
+
+/// Records one WAL group-commit flush of `bytes` bytes.
+#[cfg(feature = "durability")]
+pub(crate) fn wal_flush(bytes: u64) {
+    cached_counter!(
+        "casper_wal_flushes_total",
+        "WAL group-commit flushes (append + fsync round-trips)"
+    )
+    .inc();
+    cached_counter!("casper_wal_bytes_total", "Bytes appended to the WAL").add(bytes);
+}
+
+/// Records one checkpoint written, with its size.
+#[cfg(feature = "durability")]
+pub(crate) fn checkpoint_written(bytes: u64) {
+    cached_counter!(
+        "casper_checkpoints_total",
+        "Anonymizer checkpoints written (WAL rotations)"
+    )
+    .inc();
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        registry().histogram(
+            "casper_checkpoint_bytes",
+            "Size of written anonymizer checkpoints, bytes",
+        )
+    })
+    .observe(bytes);
+}
+
+/// Records a completed recovery: duration histogram, replay/truncation
+/// counters, and a flight-recorder event an operator can correlate with
+/// the §8 replay storm that follows a boot-epoch change.
+#[cfg(feature = "durability")]
+pub(crate) fn recovery_done(report: &crate::durability::RecoveryReport) {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        registry().histogram(
+            "casper_recovery_duration_ns",
+            "Wall-clock duration of trusted-tier crash recovery, nanoseconds",
+        )
+    })
+    .observe_duration(report.duration);
+    cached_counter!(
+        "casper_recovery_records_replayed_total",
+        "WAL records replayed during recovery"
+    )
+    .add(report.replayed as u64);
+    cached_counter!(
+        "casper_recovery_truncated_bytes_total",
+        "Torn WAL-tail bytes discarded during recovery"
+    )
+    .add(report.truncated_bytes);
+    flight().record(
+        0,
+        "durability",
+        "recovered",
+        report.duration,
+        format!(
+            "epoch {}: checkpoint {:?} + {} replayed, {} bytes torn",
+            report.boot_epoch, report.checkpoint_seq, report.replayed, report.truncated_bytes
+        ),
+    );
+}
+
+// ---------------------------------------------------------------------
 // Fault injection.
 
 /// Counts one injected fault of the given kind

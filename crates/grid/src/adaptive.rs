@@ -123,6 +123,24 @@ impl AdaptivePyramid {
         }
     }
 
+    /// Rebuilds a pyramid from checkpoint records (see
+    /// [`PyramidStructure::user_records`]). Splitting and merging are
+    /// driven purely by the registered population, so the rebuilt
+    /// structure passes [`AdaptivePyramid::check_invariants`] and serves
+    /// every user with the same `(k, A_min)` guarantees as the original
+    /// (the maintained-cell *set* may differ transiently from the
+    /// original's history-dependent shape; cloaks are unaffected).
+    pub fn from_users(
+        height: u8,
+        users: impl IntoIterator<Item = (UserId, Profile, Point)>,
+    ) -> Self {
+        let mut p = Self::new(height);
+        for (uid, profile, pos) in users {
+            p.register(uid, profile, pos);
+        }
+        p
+    }
+
     /// The lowest pyramid level (`H - 1`).
     #[inline]
     pub fn lowest_level(&self) -> u8 {

@@ -97,6 +97,18 @@ pub trait PyramidStructure {
     /// the trusted side.
     fn user_ids(&self) -> Vec<UserId>;
 
+    /// Snapshot of every registered user as a `(uid, profile, pos)`
+    /// record — the canonical checkpoint payload of the trusted tier.
+    /// Re-registering these records into an empty pyramid of the same
+    /// height rebuilds a structure serving the same population with the
+    /// same `(k, A_min)` guarantees.
+    fn user_records(&self) -> Vec<(UserId, Profile, Point)> {
+        self.user_ids()
+            .into_iter()
+            .filter_map(|uid| Some((uid, self.profile_of(uid)?, self.position_of(uid)?)))
+            .collect()
+    }
+
     /// Number of grid cells currently materialised — constant for the
     /// complete pyramid, workload-dependent for the adaptive one.
     fn maintained_cells(&self) -> usize;

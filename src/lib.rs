@@ -18,6 +18,7 @@
 //! | [`baselines`] | quadtree cloaking, CliqueCloak, naive strategies |
 //! | [`core`] | the assembled framework: server, client, end-to-end |
 //! | `telemetry` | metrics registry, tracing, flight recorder (feature `telemetry`, default on) |
+//! | `core::durability` | WAL, checkpoints, crash recovery for the trusted tier (feature `durability`, default on) |
 //!
 //! # Quickstart
 //!
@@ -64,6 +65,11 @@ pub mod prelude {
         AnonymizerService, Casper, CasperClient, CasperServer, Category, ContinuousNn, Engine,
         EndToEndAnswer, EndToEndBreakdown, FilterPolicy, ParallelEngine, PrivateHandle, Request,
         Response, ShardedAnonymizer, StreamingAnonymizer, TransmissionModel,
+    };
+    #[cfg(feature = "durability")]
+    pub use casper_core::{
+        recover_sharded_engine, DirStorage, DurabilityConfig, DurabilityError, DurableAnonymizer,
+        MemStorage, RecoveryReport,
     };
     pub use casper_geometry::{Point, Rect};
     pub use casper_grid::{
