@@ -1,0 +1,224 @@
+//! Candidate-cache throughput: cache-on vs cache-off.
+//!
+//! ```text
+//! cargo run --release -p casper-bench --bin qp_cache
+//! ```
+//!
+//! Two workloads, each run twice on identical stores — once with the
+//! candidate cache enabled (the default) and once disabled:
+//!
+//! * **snapshot** — a population of users concentrated in a fixed set
+//!   of hot cloaked regions issues NN, range and aggregate queries,
+//!   with a trickle of target mutations mixed in (one per
+//!   `QUERIES_PER_MUTATION` queries) so invalidation is exercised, not
+//!   sidestepped. This is the paper's workload shape: many users, few
+//!   distinct cloaked regions, because cloaking quantises positions to
+//!   grid cells.
+//! * **continuous** — a co-located cluster of continuous NN monitors
+//!   marches across the space; every tick changes every cloaked region,
+//!   so every monitor re-evaluates — but with the cache on, only the
+//!   first computes and the rest hit (shared continuous execution).
+//!
+//! Results land in `BENCH_qp_cache.json`; the headline
+//! `snapshot_speedup_on_vs_off` is the snapshot-mode queries/sec ratio.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use casper_anonymizer::BasicAnonymizer;
+use casper_core::{Casper, CasperServer, Category, ContinuousSet, PrivateHandle};
+use casper_geometry::{Point, Rect};
+use casper_grid::{Profile, UserId};
+use casper_index::ObjectId;
+use casper_qp::{FilterCount, PrivateBoundMode};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const TARGETS: u64 = 2_000;
+const PRIVATE: u64 = 400;
+const HOT_REGIONS: usize = 64;
+const SNAPSHOT_QUERIES: usize = 40_000;
+const QUERIES_PER_MUTATION: usize = 100;
+const CLUSTER: u64 = 200;
+const TICKS: usize = 50;
+
+struct Sample {
+    ops_per_sec: f64,
+    hit_rate: f64,
+}
+
+fn populated_server(cache_on: bool) -> CasperServer {
+    let mut server = CasperServer::new();
+    server.set_query_cache_enabled(cache_on);
+    let mut rng = StdRng::seed_from_u64(21);
+    server.load_public_targets(
+        (0..TARGETS).map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen()))),
+    );
+    for i in 0..TARGETS / 4 {
+        // A quarter of the targets also belong to a category.
+        let p = Point::new(rng.gen(), rng.gen());
+        server.upsert_public_target_in(ObjectId(TARGETS + i), p, Category((i % 3) as u32));
+    }
+    for h in 0..PRIVATE {
+        let c = Point::new(rng.gen(), rng.gen());
+        server.upsert_private_region(
+            PrivateHandle(h),
+            Rect::centered_at(c, 0.05, 0.05).clamp_to(&Rect::unit()),
+        );
+    }
+    server
+}
+
+/// The hot cloaked regions: what a population of users in a handful of
+/// pyramid cells actually sends to the server (grid-aligned, shared).
+fn hot_regions() -> Vec<Rect> {
+    (0..HOT_REGIONS)
+        .map(|i| {
+            let cell = 1.0 / 16.0;
+            let x = (i % 16) as f64 * cell;
+            let y = (i / 16) as f64 * cell;
+            Rect::new(Point::new(x, y), Point::new(x + cell, y + cell))
+        })
+        .collect()
+}
+
+fn run_snapshot(cache_on: bool) -> Sample {
+    let mut server = populated_server(cache_on);
+    let regions = hot_regions();
+    let mut rng = StdRng::seed_from_u64(33);
+    let t = Instant::now();
+    for q in 0..SNAPSHOT_QUERIES {
+        if q % QUERIES_PER_MUTATION == QUERIES_PER_MUTATION - 1 {
+            // Trickle of churn: a target relocates.
+            let id = rng.gen_range(0..TARGETS);
+            server.upsert_public_target(ObjectId(id), Point::new(rng.gen(), rng.gen()));
+        }
+        let region = &regions[rng.gen_range(0..regions.len())];
+        match q % 5 {
+            0 | 1 => {
+                let (list, _) = server.nn_public(region, FilterCount::Two);
+                assert!(!list.candidates.is_empty());
+            }
+            2 => {
+                let list = server.range_public(region, 0.1);
+                std::hint::black_box(list.candidates.len());
+            }
+            3 => {
+                let (list, _) = server.nn_private(region, FilterCount::One, PrivateBoundMode::Safe);
+                std::hint::black_box(list.candidates.len());
+            }
+            _ => {
+                let answer = server.range_private(region);
+                std::hint::black_box(answer.expected_count);
+            }
+        }
+    }
+    let elapsed = t.elapsed();
+    Sample {
+        ops_per_sec: SNAPSHOT_QUERIES as f64 / elapsed.as_secs_f64(),
+        hit_rate: server.cache_stats().map(|s| s.hit_rate()).unwrap_or(0.0),
+    }
+}
+
+fn run_continuous(cache_on: bool) -> Sample {
+    let mut casper =
+        Casper::new(BasicAnonymizer::basic(8)).with_query_cache(cache_on);
+    let mut rng = StdRng::seed_from_u64(55);
+    casper.load_targets((0..TARGETS).map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen()))));
+    // One co-located cluster: every member shares a cloaked region.
+    for i in 0..CLUSTER {
+        casper.register_user(
+            UserId(i),
+            Profile::new(1, 0.0),
+            Point::new(0.201 + i as f64 * 1e-6, 0.201),
+        );
+    }
+    let mut set = ContinuousSet::new();
+    for i in 0..CLUSTER {
+        set.register(UserId(i));
+    }
+    let t = Instant::now();
+    for tick in 1..=TICKS {
+        // The whole cluster marches together: every tick crosses a cell
+        // boundary, so every monitor must re-evaluate.
+        let step = 0.013 * tick as f64;
+        for i in 0..CLUSTER {
+            casper.move_user(
+                UserId(i),
+                Point::new(
+                    (0.201 + i as f64 * 1e-6 + step).rem_euclid(1.0),
+                    0.201,
+                ),
+            );
+        }
+        let answers = casper.tick_continuous(&mut set);
+        std::hint::black_box(answers.len());
+    }
+    let elapsed = t.elapsed();
+    let refreshes = (CLUSTER as usize * TICKS) as f64;
+    Sample {
+        ops_per_sec: refreshes / elapsed.as_secs_f64(),
+        hit_rate: casper.cache_stats().map(|s| s.hit_rate()).unwrap_or(0.0),
+    }
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("=== candidate cache: on vs off ===");
+    println!(
+        "host cpus: {host_cpus}; targets: {TARGETS}; hot regions: {HOT_REGIONS}; \
+         snapshot queries: {SNAPSHOT_QUERIES}"
+    );
+
+    let snap_off = run_snapshot(false);
+    let snap_on = run_snapshot(true);
+    let snapshot_speedup = snap_on.ops_per_sec / snap_off.ops_per_sec;
+    println!(
+        "snapshot  : off {:9.0} q/s | on {:9.0} q/s ({:4.2}x, hit rate {:.1}%)",
+        snap_off.ops_per_sec,
+        snap_on.ops_per_sec,
+        snapshot_speedup,
+        100.0 * snap_on.hit_rate
+    );
+
+    let cont_off = run_continuous(false);
+    let cont_on = run_continuous(true);
+    let continuous_speedup = cont_on.ops_per_sec / cont_off.ops_per_sec;
+    println!(
+        "continuous: off {:9.0} refreshes/s | on {:9.0} refreshes/s ({:4.2}x, hit rate {:.1}%)",
+        cont_off.ops_per_sec,
+        cont_on.ops_per_sec,
+        continuous_speedup,
+        100.0 * cont_on.hit_rate
+    );
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"qp_cache\",\n  \"host_cpus\": {host_cpus},\n  \
+         \"targets\": {TARGETS},\n  \"private_regions\": {PRIVATE},\n  \
+         \"hot_regions\": {HOT_REGIONS},\n  \"snapshot_queries\": {SNAPSHOT_QUERIES},\n  \
+         \"queries_per_mutation\": {QUERIES_PER_MUTATION},\n  \
+         \"cluster\": {CLUSTER},\n  \"ticks\": {TICKS},\n"
+    );
+    let _ = write!(
+        json,
+        "  \"snapshot\": {{\n    \"off_qps\": {:.1},\n    \"on_qps\": {:.1},\n    \
+         \"on_hit_rate\": {:.4},\n    \"speedup\": {:.2}\n  }},\n",
+        snap_off.ops_per_sec, snap_on.ops_per_sec, snap_on.hit_rate, snapshot_speedup
+    );
+    let _ = write!(
+        json,
+        "  \"continuous\": {{\n    \"off_refreshes_per_sec\": {:.1},\n    \
+         \"on_refreshes_per_sec\": {:.1},\n    \"on_hit_rate\": {:.4},\n    \
+         \"speedup\": {:.2}\n  }},\n",
+        cont_off.ops_per_sec, cont_on.ops_per_sec, cont_on.hit_rate, continuous_speedup
+    );
+    let _ = write!(
+        json,
+        "  \"snapshot_speedup_on_vs_off\": {snapshot_speedup:.2}\n}}\n"
+    );
+    std::fs::write("BENCH_qp_cache.json", &json).expect("write BENCH_qp_cache.json");
+    println!("wrote BENCH_qp_cache.json");
+}

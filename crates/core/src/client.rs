@@ -74,11 +74,7 @@ mod tests {
     use casper_index::ObjectId;
 
     fn list_of(entries: Vec<Entry>) -> CandidateList {
-        CandidateList {
-            candidates: entries,
-            a_ext: Rect::unit(),
-            filters: Vec::new(),
-        }
+        CandidateList::from_parts(entries, Rect::unit(), Vec::new(), Rect::unit())
     }
 
     #[test]

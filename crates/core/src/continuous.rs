@@ -5,10 +5,24 @@
 //! Casper framework into any scalable and/or incremental location-based
 //! query processor" (Section 5). This module provides that integration
 //! for the in-tree server: a registered continuous query re-uses its last
-//! candidate list as long as the user's *cloaked region* has not changed —
-//! which, thanks to the quality guarantee (the region is a pure function
-//! of cell + profile), happens exactly when the user stays inside her
-//! current pyramid cell. Only cell crossings pay for a server round trip.
+//! candidate list as long as nothing that could change the answer moved.
+//!
+//! Two staleness signals feed the decision:
+//!
+//! * the user's **cloaked region** — a pure function of cell + profile,
+//!   so it changes exactly when the user crosses a pyramid cell; and
+//! * (with the `qp-cache` feature) the **version stamp** the monitor took
+//!   over its answer's dependency region against the server's public
+//!   cell-version table. A target upsert or removal inside the dependency
+//!   region invalidates the stamp, so the monitor re-evaluates instead of
+//!   serving a stale list — a correctness hole the region-only heuristic
+//!   has when targets move.
+//!
+//! Re-evaluation is **shared**: it goes through the server's candidate
+//! cache, so when many continuous queries cover the same cells (same
+//! cloaked region, the common case for co-located users), only the first
+//! one per tick computes; the rest hit the cache. [`ContinuousSet`] ticks
+//! a whole registry of monitors through that shared path.
 //!
 //! The monitor exposes reuse/re-evaluation counters so workloads can
 //! measure the saving (typically >90% of movement updates reuse the list
@@ -16,6 +30,8 @@
 
 use casper_geometry::Rect;
 use casper_grid::{PyramidStructure, UserId};
+#[cfg(feature = "qp-cache")]
+use casper_grid::VersionStamp;
 use casper_index::Entry;
 
 use crate::pipeline::Casper;
@@ -27,6 +43,11 @@ pub struct ContinuousNn {
     pub uid: UserId,
     last_region: Option<Rect>,
     candidates: Vec<Entry>,
+    /// Version stamp over the last answer's dependency region; `None`
+    /// until the first evaluation (or when the server cache is off, in
+    /// which case reuse falls back to the region-only heuristic).
+    #[cfg(feature = "qp-cache")]
+    stamp: Option<VersionStamp>,
     /// Server round trips performed.
     pub reevaluations: u64,
     /// Refreshes served from the cached candidate list.
@@ -41,6 +62,8 @@ impl ContinuousNn {
             uid,
             last_region: None,
             candidates: Vec::new(),
+            #[cfg(feature = "qp-cache")]
+            stamp: None,
             reevaluations: 0,
             reuses: 0,
         }
@@ -61,6 +84,55 @@ impl ContinuousNn {
     }
 }
 
+/// A registry of continuous NN queries maintained **incrementally** and
+/// ticked together: each tick re-runs only the monitors whose cloaked
+/// region changed or whose dependency-region version stamp no longer
+/// validates, and re-evaluations share one candidate computation through
+/// the server's candidate cache (same cloaked region → one compute, the
+/// rest hit).
+#[derive(Debug, Default)]
+pub struct ContinuousSet {
+    monitors: Vec<ContinuousNn>,
+}
+
+impl ContinuousSet {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a continuous query for `uid`; it first evaluates on the
+    /// next tick.
+    pub fn register(&mut self, uid: UserId) {
+        self.monitors.push(ContinuousNn::new(uid));
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.monitors.is_empty()
+    }
+
+    /// The registered monitors, in registration order.
+    pub fn monitors(&self) -> &[ContinuousNn] {
+        &self.monitors
+    }
+
+    /// Total server round trips across all monitors.
+    pub fn total_reevaluations(&self) -> u64 {
+        self.monitors.iter().map(|m| m.reevaluations).sum()
+    }
+
+    /// Total refreshes answered from cached candidate lists.
+    pub fn total_reuses(&self) -> u64 {
+        self.monitors.iter().map(|m| m.reuses).sum()
+    }
+}
+
 impl<P: PyramidStructure> Casper<P> {
     /// Registers a continuous NN query for `uid`.
     pub fn continuous_nn(&self, uid: UserId) -> ContinuousNn {
@@ -69,13 +141,43 @@ impl<P: PyramidStructure> Casper<P> {
 
     /// Refreshes a continuous query: returns the current exact nearest
     /// target (client-refined), re-contacting the server only when the
-    /// user's cloaked region changed since the last refresh.
+    /// user's cloaked region changed since the last refresh — or, with
+    /// the `qp-cache` feature, when a public target inside the answer's
+    /// dependency region changed (version-stamp invalidation).
     pub fn refresh_continuous(&mut self, monitor: &mut ContinuousNn) -> Option<Entry> {
         let region = self.anonymizer().cloak_region_of(monitor.uid)?.rect;
-        if monitor.last_region == Some(region) && !monitor.candidates.is_empty() {
+        let region_unchanged =
+            monitor.last_region == Some(region) && !monitor.candidates.is_empty();
+        #[cfg(feature = "qp-cache")]
+        let stamp_valid = match (&monitor.stamp, self.server().public_versions()) {
+            (Some(stamp), Some(versions)) => versions.validate(stamp),
+            // No stamp or no version table (cache off): region-only
+            // semantics, as before the cache existed.
+            _ => true,
+        };
+        #[cfg(not(feature = "qp-cache"))]
+        let stamp_valid = true;
+        if region_unchanged && stamp_valid {
             monitor.reuses += 1;
+            #[cfg(all(feature = "telemetry", feature = "qp-cache"))]
+            crate::tel::record_continuous("reuse");
         } else {
-            let (list, _) = self.server().nn_public(&region, self.filter_count());
+            #[cfg(all(feature = "telemetry", feature = "qp-cache"))]
+            crate::tel::record_continuous(if region_unchanged {
+                "stale"
+            } else {
+                "reevaluate"
+            });
+            let filters = self.filter_count();
+            let server = self.server();
+            let (list, _) = server.nn_public(&region, filters);
+            #[cfg(feature = "qp-cache")]
+            {
+                // Stamp the dependency region under the same read guard
+                // so no mutation can slip between compute and stamp.
+                monitor.stamp = server.public_versions().map(|v| v.stamp(&list.dep));
+            }
+            drop(server);
             monitor.candidates = list.candidates;
             monitor.last_region = Some(region);
             monitor.reevaluations += 1;
@@ -87,6 +189,19 @@ impl<P: PyramidStructure> Casper<P> {
             .iter()
             .min_by(|a, b| a.mbr.min_dist(pos).total_cmp(&b.mbr.min_dist(pos)))
             .copied()
+    }
+
+    /// Ticks every monitor in `set` once, returning each user's current
+    /// exact nearest target in registration order. Monitors sharing a
+    /// cloaked region share one candidate computation per tick through
+    /// the server's candidate cache.
+    pub fn tick_continuous(&mut self, set: &mut ContinuousSet) -> Vec<(UserId, Option<Entry>)> {
+        let mut answers = Vec::with_capacity(set.monitors.len());
+        for monitor in &mut set.monitors {
+            let ans = self.refresh_continuous(monitor);
+            answers.push((monitor.uid, ans));
+        }
+        answers
     }
 }
 
@@ -195,6 +310,73 @@ mod tests {
             m.reuses,
             m.reevaluations
         );
+    }
+
+    /// With the cache on, a *target* mutation inside the answer's
+    /// dependency region must force a re-evaluation even though the
+    /// user never moved — the staleness hole the version stamp closes.
+    #[cfg(feature = "qp-cache")]
+    #[test]
+    fn target_churn_invalidates_stationary_monitor() {
+        let mut c = city();
+        c.register_user(UserId(600), Profile::new(1, 0.0), Point::new(0.25, 0.25));
+        let mut m = c.continuous_nn(UserId(600));
+        c.refresh_continuous(&mut m).unwrap();
+        assert_eq!(m.reevaluations, 1);
+        // Drop a brand-new target right next to the user: closer than
+        // anything else, inside every dependency region that covers her.
+        c.server_mut()
+            .upsert_public_target(ObjectId(50_000), Point::new(0.2501, 0.25));
+        let after = c.refresh_continuous(&mut m).unwrap();
+        assert_eq!(
+            after.id,
+            ObjectId(50_000),
+            "stationary monitor must see the new nearest target"
+        );
+        assert_eq!(m.reevaluations, 2, "stamp invalidation must re-query");
+        // Removing it again restores the old answer.
+        c.server_mut().remove_public_target(ObjectId(50_000));
+        let restored = c.refresh_continuous(&mut m).unwrap();
+        assert_ne!(restored.id, ObjectId(50_000));
+        assert_eq!(m.reevaluations, 3);
+    }
+
+    /// Monitors sharing one cloaked region share one candidate
+    /// computation per tick: every re-evaluation after the first is a
+    /// cache hit.
+    #[cfg(feature = "qp-cache")]
+    #[test]
+    fn co_located_monitors_share_computation() {
+        let mut c = city();
+        // Five users in the same pyramid cell with the same profile →
+        // identical cloaked regions.
+        for i in 0..5u64 {
+            c.register_user(
+                UserId(700 + i),
+                Profile::new(1, 0.0),
+                Point::new(0.330 + i as f64 * 1e-4, 0.330),
+            );
+        }
+        let mut set = ContinuousSet::new();
+        for i in 0..5u64 {
+            set.register(UserId(700 + i));
+        }
+        let before = c.cache_stats().expect("cache is on by default");
+        let answers = c.tick_continuous(&mut set);
+        assert_eq!(answers.len(), 5);
+        assert!(answers.iter().all(|(_, a)| a.is_some()));
+        let after = c.cache_stats().unwrap();
+        assert!(
+            after.hits >= before.hits + 4,
+            "4 of 5 co-located evaluations must hit the cache \
+             (hits {} -> {})",
+            before.hits,
+            after.hits
+        );
+        // A second tick with nothing moved reuses everywhere.
+        c.tick_continuous(&mut set);
+        assert_eq!(set.total_reuses(), 5);
+        assert_eq!(set.total_reevaluations(), 5);
     }
 
     #[test]

@@ -990,6 +990,32 @@ impl<A: AnonymizerService + 'static> ParallelEngine<A> {
     }
 }
 
+/// Runtime control of the hosted server's candidate cache.
+#[cfg(feature = "qp-cache")]
+impl<A: AnonymizerService + 'static> ParallelEngine<A> {
+    /// Enables or disables the server-tier candidate cache (on by
+    /// default when the `qp-cache` feature is compiled in). The cache
+    /// is internally sharded and safe under any number of concurrent
+    /// submitters.
+    pub fn with_query_cache(self, enabled: bool) -> Self {
+        self.shared.plane.write().set_query_cache_enabled(enabled);
+        self
+    }
+
+    /// Replaces the hosted server's cache with a fresh one under
+    /// `config`.
+    pub fn with_query_cache_config(self, config: casper_qp::cache::CacheConfig) -> Self {
+        self.shared.plane.write().set_query_cache_config(config);
+        self
+    }
+
+    /// Hit/miss/invalidation counters of the hosted server's candidate
+    /// cache (`None` when disabled).
+    pub fn cache_stats(&self) -> Option<casper_qp::cache::CacheStats> {
+        self.shared.plane.read().cache_stats()
+    }
+}
+
 impl<A: AnonymizerService + 'static> Engine for ParallelEngine<A> {
     fn execute(&mut self, req: Request) -> Response {
         self.submit(req)

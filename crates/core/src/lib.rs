@@ -46,6 +46,11 @@
 //!   fault-injecting storage for kill-loop testing.
 //! * [`StreamingAnonymizer`] — a concurrent ingestion front that absorbs
 //!   high-rate location-update streams on a worker thread.
+//! * **Candidate caching** (feature `qp-cache`, on by default) — the
+//!   server tier memoises candidate lists keyed by cloaked region and
+//!   query shape, invalidated exactly through per-cell version counters
+//!   bumped on every object mutation; [`ContinuousSet`] builds shared
+//!   incremental continuous-query execution on top of it.
 
 #![warn(missing_docs)]
 
@@ -69,8 +74,10 @@ mod streaming;
 mod tel;
 pub mod wire;
 
+#[cfg(feature = "qp-cache")]
+pub use casper_qp::cache::{CacheConfig, CacheStats};
 pub use client::CasperClient;
-pub use continuous::ContinuousNn;
+pub use continuous::{ContinuousNn, ContinuousSet};
 pub use cost::TransmissionModel;
 #[cfg(feature = "durability")]
 pub use durability::{

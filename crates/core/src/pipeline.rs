@@ -598,6 +598,30 @@ impl<P: PyramidStructure> Casper<P> {
     }
 }
 
+/// Runtime control of the hosted server's candidate cache.
+#[cfg(feature = "qp-cache")]
+impl<P: PyramidStructure> Casper<P> {
+    /// Enables or disables the server-tier candidate cache (on by
+    /// default when the `qp-cache` feature is compiled in).
+    pub fn with_query_cache(self, enabled: bool) -> Self {
+        self.core.link.plane.write().set_query_cache_enabled(enabled);
+        self
+    }
+
+    /// Replaces the hosted server's cache with a fresh one under
+    /// `config`.
+    pub fn with_query_cache_config(self, config: casper_qp::cache::CacheConfig) -> Self {
+        self.core.link.plane.write().set_query_cache_config(config);
+        self
+    }
+
+    /// Hit/miss/invalidation counters of the hosted server's candidate
+    /// cache (`None` when disabled).
+    pub fn cache_stats(&self) -> Option<casper_qp::cache::CacheStats> {
+        self.core.link.plane.read().cache_stats()
+    }
+}
+
 impl<P: PyramidStructure> Engine for Casper<P> {
     fn execute(&mut self, req: Request) -> Response {
         self.core.execute(req)

@@ -12,10 +12,19 @@ use std::time::{Duration, Instant};
 
 use casper_geometry::{Point, Rect};
 use casper_index::{Entry, ObjectId, RTree, SpatialIndex, UniformGrid};
-use casper_qp::{
-    private_nn_private_data, private_nn_public_data, private_range_public_data,
-    public_range_over_private, CandidateList, FilterCount, PrivateBoundMode, RangeAnswer,
+#[cfg(feature = "qp-cache")]
+use casper_qp::cache::{
+    cached_full_scan, cached_nn_private, cached_nn_public, cached_range_over_private,
+    cached_range_public, CacheConfig, CacheStats, CandidateCache,
 };
+#[cfg(not(feature = "qp-cache"))]
+use casper_qp::public_range_over_private;
+use casper_qp::{
+    private_nn_private_data, private_nn_public_data, private_range_public_data, CandidateList,
+    FilterCount, PrivateBoundMode, RangeAnswer,
+};
+#[cfg(feature = "qp-cache")]
+use casper_grid::CellVersionTable;
 
 /// A public-target category (gas stations, restaurants, hospitals, ...),
 /// so clients can ask for their nearest target *of a kind*.
@@ -53,6 +62,37 @@ pub struct CasperServer {
     /// Which category each public target belongs to (for removals).
     target_category: HashMap<ObjectId, Category>,
     private: UniformGrid,
+    /// The candidate cache and its invalidation machinery; `None` when
+    /// the cache is disabled at runtime (answers are recomputed).
+    #[cfg(feature = "qp-cache")]
+    cache: Option<ServerCache>,
+}
+
+/// The server-tier caching state: one [`CandidateCache`] shared by every
+/// query path, one cell-version table per store for exact lazy
+/// invalidation, and a last-known-MBR mirror per store so a mutation can
+/// bump the *old* location of a moving object as well as the new one.
+#[cfg(feature = "qp-cache")]
+#[derive(Debug)]
+struct ServerCache {
+    cache: CandidateCache,
+    public_versions: CellVersionTable,
+    private_versions: CellVersionTable,
+    public_last: HashMap<ObjectId, Rect>,
+    private_last: HashMap<ObjectId, Rect>,
+}
+
+#[cfg(feature = "qp-cache")]
+impl ServerCache {
+    fn new(config: CacheConfig) -> Self {
+        Self {
+            cache: CandidateCache::new(config),
+            public_versions: CellVersionTable::new(),
+            private_versions: CellVersionTable::new(),
+            public_last: HashMap::new(),
+            private_last: HashMap::new(),
+        }
+    }
 }
 
 impl Default for CasperServer {
@@ -62,36 +102,94 @@ impl Default for CasperServer {
 }
 
 impl CasperServer {
-    /// Creates an empty server.
+    /// Creates an empty server. With the `qp-cache` feature the
+    /// candidate cache is on by default; see
+    /// [`CasperServer::set_query_cache_enabled`].
     pub fn new() -> Self {
         Self {
             public: RTree::new(),
             by_category: HashMap::new(),
             target_category: HashMap::new(),
             private: UniformGrid::new(64),
+            #[cfg(feature = "qp-cache")]
+            cache: Some(ServerCache::new(CacheConfig::default())),
+        }
+    }
+
+    /// Records a public-store mutation at `mbr`: the store has already
+    /// been updated, so bumping *after* keeps readers from re-validating
+    /// a stamp taken over the old contents.
+    #[cfg(feature = "qp-cache")]
+    fn note_public_change(&mut self, id: ObjectId, mbr: Option<Rect>) {
+        if let Some(c) = &mut self.cache {
+            let old = match mbr {
+                Some(new) => c.public_last.insert(id, new),
+                None => c.public_last.remove(&id),
+            };
+            if let Some(old) = old {
+                c.public_versions.bump_rect(&old);
+            }
+            if let Some(new) = mbr {
+                c.public_versions.bump_rect(&new);
+            }
+        }
+    }
+
+    /// Records a private-store mutation, mirroring
+    /// [`CasperServer::note_public_change`].
+    #[cfg(feature = "qp-cache")]
+    fn note_private_change(&mut self, id: ObjectId, mbr: Option<Rect>) {
+        if let Some(c) = &mut self.cache {
+            let old = match mbr {
+                Some(new) => c.private_last.insert(id, new),
+                None => c.private_last.remove(&id),
+            };
+            if let Some(old) = old {
+                c.private_versions.bump_rect(&old);
+            }
+            if let Some(new) = mbr {
+                c.private_versions.bump_rect(&new);
+            }
         }
     }
 
     /// Bulk-loads the public target objects.
     pub fn load_public_targets(&mut self, targets: impl IntoIterator<Item = (ObjectId, Point)>) {
-        self.public = RTree::bulk_load(targets.into_iter().map(|(id, p)| Entry::point(id, p)));
+        let entries: Vec<Entry> = targets
+            .into_iter()
+            .map(|(id, p)| Entry::point(id, p))
+            .collect();
+        #[cfg(feature = "qp-cache")]
+        if let Some(c) = &mut self.cache {
+            c.public_last.clear();
+            c.public_last.extend(entries.iter().map(|e| (e.id, e.mbr)));
+        }
+        self.public = RTree::bulk_load(entries);
+        #[cfg(feature = "qp-cache")]
+        if let Some(c) = &mut self.cache {
+            // A wholesale replacement invalidates everything cheaply.
+            c.public_versions.bump_all();
+        }
     }
 
     /// Registers or replaces a single public target.
     pub fn upsert_public_target(&mut self, id: ObjectId, pos: Point) {
         self.remove_public_target(id);
-        self.public.insert(Entry::point(id, pos));
+        let entry = Entry::point(id, pos);
+        self.public.insert(entry);
+        #[cfg(feature = "qp-cache")]
+        self.note_public_change(id, Some(entry.mbr));
     }
 
     /// Registers or replaces a public target within a category.
     pub fn upsert_public_target_in(&mut self, id: ObjectId, pos: Point, category: Category) {
         self.remove_public_target(id);
-        self.public.insert(Entry::point(id, pos));
-        self.by_category
-            .entry(category)
-            .or_default()
-            .insert(Entry::point(id, pos));
+        let entry = Entry::point(id, pos);
+        self.public.insert(entry);
+        self.by_category.entry(category).or_default().insert(entry);
         self.target_category.insert(id, category);
+        #[cfg(feature = "qp-cache")]
+        self.note_public_change(id, Some(entry.mbr));
     }
 
     /// Removes a public target (from its category index too).
@@ -101,7 +199,12 @@ impl CasperServer {
                 idx.remove(id);
             }
         }
-        self.public.remove(id)
+        let removed = self.public.remove(id);
+        #[cfg(feature = "qp-cache")]
+        if removed {
+            self.note_public_change(id, None);
+        }
+        removed
     }
 
     /// Number of targets registered in a category.
@@ -120,11 +223,18 @@ impl CasperServer {
         let id = ObjectId(handle.0);
         self.private.remove(id);
         self.private.insert(Entry::new(id, region));
+        #[cfg(feature = "qp-cache")]
+        self.note_private_change(id, Some(region));
     }
 
     /// Drops a private handle (user signed off).
     pub fn remove_private_region(&mut self, handle: PrivateHandle) -> bool {
-        self.private.remove(ObjectId(handle.0))
+        let removed = self.private.remove(ObjectId(handle.0));
+        #[cfg(feature = "qp-cache")]
+        if removed {
+            self.note_private_change(ObjectId(handle.0), None);
+        }
+        removed
     }
 
     /// Number of stored private regions.
@@ -159,6 +269,19 @@ impl CasperServer {
         filters: FilterCount,
     ) -> (CandidateList, QueryStats) {
         let start = Instant::now();
+        #[cfg(feature = "qp-cache")]
+        let list = match &self.cache {
+            Some(c) => cached_nn_public(
+                &c.cache,
+                &c.public_versions,
+                &self.public,
+                cloaked_query,
+                filters,
+                0,
+            ),
+            None => private_nn_public_data(&self.public, cloaked_query, filters),
+        };
+        #[cfg(not(feature = "qp-cache"))]
         let list = private_nn_public_data(&self.public, cloaked_query, filters);
         let processing = start.elapsed();
         let stats = QueryStats {
@@ -179,12 +302,25 @@ impl CasperServer {
     ) -> (CandidateList, QueryStats) {
         let start = Instant::now();
         let list = match self.by_category.get(&category) {
-            Some(idx) => private_nn_public_data(idx, cloaked_query, filters),
-            None => CandidateList {
-                candidates: Vec::new(),
-                a_ext: *cloaked_query,
-                filters: Vec::new(),
+            // Category sub-indexes only ever change together with the
+            // public store, so the public version table invalidates
+            // these entries exactly; the category id keeps the keys
+            // distinct from unscoped queries (`extra` 0).
+            #[cfg(feature = "qp-cache")]
+            Some(idx) => match &self.cache {
+                Some(c) => cached_nn_public(
+                    &c.cache,
+                    &c.public_versions,
+                    idx,
+                    cloaked_query,
+                    filters,
+                    1 + u64::from(category.0),
+                ),
+                None => private_nn_public_data(idx, cloaked_query, filters),
             },
+            #[cfg(not(feature = "qp-cache"))]
+            Some(idx) => private_nn_public_data(idx, cloaked_query, filters),
+            None => CandidateList::empty(cloaked_query),
         };
         let processing = start.elapsed();
         let stats = QueryStats {
@@ -202,6 +338,20 @@ impl CasperServer {
         mode: PrivateBoundMode,
     ) -> (CandidateList, QueryStats) {
         let start = Instant::now();
+        #[cfg(feature = "qp-cache")]
+        let list = match &self.cache {
+            Some(c) => cached_nn_private(
+                &c.cache,
+                &c.private_versions,
+                &self.private,
+                cloaked_query,
+                filters,
+                mode,
+                0.0,
+            ),
+            None => private_nn_private_data(&self.private, cloaked_query, filters, mode, 0.0),
+        };
+        #[cfg(not(feature = "qp-cache"))]
         let list = private_nn_private_data(&self.private, cloaked_query, filters, mode, 0.0);
         let processing = start.elapsed();
         let stats = QueryStats {
@@ -213,19 +363,115 @@ impl CasperServer {
 
     /// Public (administrator) range query over the private store.
     pub fn range_private(&self, area: &Rect) -> RangeAnswer {
+        #[cfg(feature = "qp-cache")]
+        {
+            // Both runtime modes go through the canonical candidate-list
+            // representation so cached and fresh answers are
+            // bit-identical (the aggregate sums run in the same order).
+            let list = match &self.cache {
+                Some(c) => {
+                    cached_range_over_private(&c.cache, &c.private_versions, &self.private, area)
+                }
+                None => CandidateList::from_parts(
+                    self.private.range(area),
+                    *area,
+                    Vec::new(),
+                    *area,
+                ),
+            };
+            RangeAnswer::from_overlapping(list.candidates, area)
+        }
+        #[cfg(not(feature = "qp-cache"))]
         public_range_over_private(&self.private, area)
     }
 
     /// Private range query ("targets within `radius` of me") over the
     /// public store.
     pub fn range_public(&self, cloaked_query: &Rect, radius: f64) -> CandidateList {
+        #[cfg(feature = "qp-cache")]
+        if let Some(c) = &self.cache {
+            return cached_range_public(
+                &c.cache,
+                &c.public_versions,
+                &self.public,
+                cloaked_query,
+                radius,
+            );
+        }
         private_range_public_data(&self.public, cloaked_query, radius)
     }
 
     /// Builds the expected-count density surface over the private store
     /// (the administrator's anonymous heat map).
     pub fn density(&self, resolution: usize) -> casper_qp::DensityGrid {
+        #[cfg(feature = "qp-cache")]
+        {
+            // One cached full scan feeds every resolution: the binning
+            // is cheap, the scan is what the cache saves. The canonical
+            // order also makes the float accumulation deterministic
+            // across cache-on and cache-off runs.
+            let list = match &self.cache {
+                Some(c) => cached_full_scan(&c.cache, &c.private_versions, &self.private, 0),
+                None => {
+                    let unit = Rect::unit();
+                    CandidateList::from_parts(self.private.range(&unit), unit, Vec::new(), unit)
+                }
+            };
+            casper_qp::DensityGrid::from_regions(list.candidates, resolution)
+        }
+        #[cfg(not(feature = "qp-cache"))]
         casper_qp::DensityGrid::build(&self.private, resolution)
+    }
+}
+
+/// Runtime control of the server-tier candidate cache (compiled with the
+/// `qp-cache` feature, on by default).
+#[cfg(feature = "qp-cache")]
+impl CasperServer {
+    /// Replaces the cache with a fresh one under `config` (and enables
+    /// it if it was off).
+    pub fn with_query_cache(mut self, config: CacheConfig) -> Self {
+        self.set_query_cache_config(config);
+        self
+    }
+
+    /// In-place form of [`CasperServer::with_query_cache`].
+    pub fn set_query_cache_config(&mut self, config: CacheConfig) {
+        self.cache = Some(ServerCache::new(config));
+    }
+
+    /// Turns the candidate cache on or off at runtime. Turning it off
+    /// drops every cached answer; turning it on starts cold.
+    pub fn set_query_cache_enabled(&mut self, enabled: bool) {
+        match (enabled, self.cache.is_some()) {
+            (true, false) => self.cache = Some(ServerCache::new(CacheConfig::default())),
+            (false, true) => self.cache = None,
+            _ => {}
+        }
+    }
+
+    /// Whether the candidate cache is currently enabled.
+    pub fn query_cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Hit/miss/invalidation counters of the candidate cache (`None`
+    /// when disabled).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.cache.stats())
+    }
+
+    /// The public store's cell-version table (`None` when the cache is
+    /// disabled). Continuous queries stamp their dependency regions
+    /// against this to learn whether any covered target moved.
+    pub fn public_versions(&self) -> Option<&CellVersionTable> {
+        self.cache.as_ref().map(|c| &c.public_versions)
+    }
+
+    /// The private store's cell-version table (`None` when the cache is
+    /// disabled).
+    pub fn private_versions(&self) -> Option<&CellVersionTable> {
+        self.cache.as_ref().map(|c| &c.private_versions)
     }
 }
 

@@ -380,6 +380,32 @@ pub(crate) fn recovery_done(report: &crate::durability::RecoveryReport) {
 }
 
 // ---------------------------------------------------------------------
+// Continuous queries (qp-cache incremental maintenance).
+
+/// Counts continuous-query refresh outcomes
+/// (`casper_continuous_refreshes_total{outcome=...}`): `reuse` = cached
+/// candidates still valid, `reevaluate` = region changed, `stale` = a
+/// covered target changed while the region stayed put.
+#[cfg(feature = "qp-cache")]
+pub(crate) fn record_continuous(outcome: &'static str) {
+    static OUTCOMES: OnceLock<parking_lot::Mutex<Vec<(&'static str, Arc<Counter>)>>> =
+        OnceLock::new();
+    let outcomes = OUTCOMES.get_or_init(|| parking_lot::Mutex::new(Vec::new()));
+    let mut outcomes = outcomes.lock();
+    if let Some((_, c)) = outcomes.iter().find(|(k, _)| *k == outcome) {
+        c.inc();
+        return;
+    }
+    let c = registry().counter_with(
+        "casper_continuous_refreshes_total",
+        "Continuous-query refresh outcomes under incremental maintenance",
+        &[("outcome", outcome)],
+    );
+    c.inc();
+    outcomes.push((outcome, c));
+}
+
+// ---------------------------------------------------------------------
 // Fault injection.
 
 /// Counts one injected fault of the given kind

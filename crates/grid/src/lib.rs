@@ -31,6 +31,7 @@ pub mod render;
 mod stats;
 #[cfg(feature = "telemetry")]
 mod tel;
+mod versions;
 
 pub use adaptive::AdaptivePyramid;
 pub use cell::CellId;
@@ -39,6 +40,7 @@ pub use complete::CompletePyramid;
 pub use hash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use profile::Profile;
 pub use stats::MaintenanceStats;
+pub use versions::{CellVersionTable, VersionStamp};
 
 use casper_geometry::Point;
 

@@ -9,7 +9,7 @@
 //! expectation and mass-preserving by construction.
 
 use casper_geometry::Rect;
-use casper_index::SpatialIndex;
+use casper_index::{Entry, SpatialIndex};
 
 /// An expected-count density surface over the unit square.
 #[derive(Debug, Clone)]
@@ -26,10 +26,18 @@ impl DensityGrid {
     /// in-bounds share (their users are certainly inside the service
     /// space, so the in-bounds mass is renormalised).
     pub fn build<I: SpatialIndex>(index: &I, resolution: usize) -> Self {
+        Self::from_regions(index.range(&Rect::unit()), resolution)
+    }
+
+    /// Builds the surface from an already-materialised set of cloaked
+    /// regions — the shape the candidate cache hands back (see
+    /// `cache::cached_full_scan`), letting repeated density builds skip
+    /// the index scan.
+    pub fn from_regions(regions: impl IntoIterator<Item = Entry>, resolution: usize) -> Self {
         let resolution = resolution.clamp(1, 1024);
         let mut cells = vec![0.0; resolution * resolution];
         let step = 1.0 / resolution as f64;
-        for entry in index.range(&Rect::unit()) {
+        for entry in regions {
             let clipped = entry.mbr.clamp_to(&Rect::unit());
             let mass = clipped.area();
             if mass <= 0.0 {

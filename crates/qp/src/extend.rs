@@ -146,6 +146,7 @@ mod tests {
         VertexFilters {
             per_corner: [e; 4],
             distinct: vec![e],
+            anchors: Vec::new(),
         }
     }
 
@@ -196,6 +197,7 @@ mod tests {
         let f = VertexFilters {
             per_corner: [t0, t1, t1, t0],
             distinct: vec![t0, t1],
+            anchors: Vec::new(),
         };
         let ext = extended_area_public(&region, &f);
         let d_m = Point::new(0.5, 0.0).dist(Point::new(0.0, -0.1));
@@ -223,6 +225,7 @@ mod tests {
         let f = VertexFilters {
             per_corner: [t0, t1, t1, t0],
             distinct: vec![t0, t1],
+            anchors: Vec::new(),
         };
         let paper = extended_area_private(&region, &f, PrivateBoundMode::PaperFaithful);
         let safe = extended_area_private(&region, &f, PrivateBoundMode::Safe);

@@ -15,7 +15,7 @@
 //! For private (cloaked) target data the nearest-filter search uses the
 //! pessimistic furthest-corner distance (Section 5.2 Step 1).
 
-use casper_geometry::Rect;
+use casper_geometry::{Point, Rect};
 use casper_index::{DistanceKind, Entry, SpatialIndex};
 
 /// Number of filter objects used in Step 1.
@@ -51,6 +51,24 @@ pub struct VertexFilters {
     pub per_corner: [Entry; 4],
     /// The distinct filter objects (1, 2 or 4 entries).
     pub distinct: Vec<Entry>,
+    /// The nearest-neighbour search anchors that produced the filters —
+    /// `(anchor point, distance to its filter)` under the search's
+    /// distance semantics. A target mutation inside one of these circles
+    /// can change the filter assignment (and with it `A_EXT`), so they
+    /// are part of the answer's dependency region.
+    pub anchors: Vec<(Point, f64)>,
+}
+
+impl VertexFilters {
+    /// The dependency region of an answer computed from these filters:
+    /// `a_ext` united with the bounding box of every anchor circle.
+    pub fn dep_with(&self, a_ext: &Rect) -> Rect {
+        let mut dep = *a_ext;
+        for &(p, r) in &self.anchors {
+            dep = dep.union(&Rect::from_coords(p.x - r, p.y - r, p.x + r, p.y + r));
+        }
+        dep
+    }
 }
 
 fn assign<I: SpatialIndex>(
@@ -65,16 +83,20 @@ fn assign<I: SpatialIndex>(
     let corners = region.corners();
     match count {
         FilterCount::One => {
-            let f = index.nearest(region.center(), kind)?.entry;
+            let center = region.center();
+            let n = index.nearest(center, kind)?;
+            let f = n.entry;
             Some(VertexFilters {
                 per_corner: [f; 4],
                 distinct: vec![f],
+                anchors: vec![(center, n.dist)],
             })
         }
         FilterCount::Two => {
             // Two reverse corners: bottom-left (0) and top-right (2).
-            let f0 = index.nearest(corners[0], kind)?.entry;
-            let f2 = index.nearest(corners[2], kind)?.entry;
+            let n0 = index.nearest(corners[0], kind)?;
+            let n2 = index.nearest(corners[2], kind)?;
+            let (f0, f2) = (n0.entry, n2.entry);
             // The remaining corners take whichever of the two is nearer
             // under the same distance semantics.
             let pick = |i: usize| -> Entry {
@@ -92,14 +114,21 @@ fn assign<I: SpatialIndex>(
             Some(VertexFilters {
                 per_corner: [f0, pick(1), f2, pick(3)],
                 distinct,
+                anchors: vec![(corners[0], n0.dist), (corners[2], n2.dist)],
             })
         }
         FilterCount::Four => {
+            let neighbors = [
+                index.nearest(corners[0], kind)?,
+                index.nearest(corners[1], kind)?,
+                index.nearest(corners[2], kind)?,
+                index.nearest(corners[3], kind)?,
+            ];
             let per_corner = [
-                index.nearest(corners[0], kind)?.entry,
-                index.nearest(corners[1], kind)?.entry,
-                index.nearest(corners[2], kind)?.entry,
-                index.nearest(corners[3], kind)?.entry,
+                neighbors[0].entry,
+                neighbors[1].entry,
+                neighbors[2].entry,
+                neighbors[3].entry,
             ];
             let mut distinct: Vec<Entry> = Vec::with_capacity(4);
             for f in per_corner {
@@ -107,9 +136,11 @@ fn assign<I: SpatialIndex>(
                     distinct.push(f);
                 }
             }
+            let anchors = (0..4).map(|i| (corners[i], neighbors[i].dist)).collect();
             Some(VertexFilters {
                 per_corner,
                 distinct,
+                anchors,
             })
         }
     }

@@ -33,7 +33,7 @@
 use casper_geometry::{Point, Rect};
 use casper_index::{DistanceKind, SpatialIndex};
 
-use crate::{CandidateList, FilterCount};
+use crate::{everywhere, CandidateList, FilterCount};
 
 /// Radius around `anchor` guaranteed to contain at least `k` targets,
 /// under the given distance semantics; `None` when fewer than `k` targets
@@ -52,14 +52,17 @@ fn kth_radius<I: SpatialIndex>(
 }
 
 /// Per-corner radii `r_i` such that ≥ k targets lie within `r_i` of
-/// corner `i`.
+/// corner `i`, plus the `(anchor, k-th radius)` pairs the searches
+/// actually ran at — an insertion inside an anchor circle changes that
+/// anchor's k-th radius, so the circles join the dependency region.
+#[allow(clippy::type_complexity)]
 fn corner_radii<I: SpatialIndex>(
     index: &I,
     region: &Rect,
     k: usize,
     filters: FilterCount,
     kind: DistanceKind,
-) -> Option<[f64; 4]> {
+) -> Option<([f64; 4], Vec<(Point, f64)>)> {
     let corners = region.corners();
     match filters {
         FilterCount::Four => {
@@ -67,7 +70,7 @@ fn corner_radii<I: SpatialIndex>(
             for (i, c) in corners.iter().enumerate() {
                 r[i] = kth_radius(index, *c, k, kind)?;
             }
-            Some(r)
+            Some((r, (0..4).map(|i| (corners[i], r[i])).collect()))
         }
         FilterCount::Two => {
             let anchors = [corners[0], corners[2]];
@@ -81,7 +84,7 @@ fn corner_radii<I: SpatialIndex>(
                     .map(|a| c.dist(anchors[a]) + radii[a])
                     .fold(f64::INFINITY, f64::min);
             }
-            Some(r)
+            Some((r, vec![(anchors[0], radii[0]), (anchors[1], radii[1])]))
         }
         FilterCount::One => {
             let center = region.center();
@@ -90,9 +93,18 @@ fn corner_radii<I: SpatialIndex>(
             for (i, c) in corners.iter().enumerate() {
                 r[i] = c.dist(center) + rc;
             }
-            Some(r)
+            Some((r, vec![(center, rc)]))
         }
     }
+}
+
+/// Dependency region: `a_ext` united with every anchor circle's bbox.
+fn dep_of(a_ext: &Rect, anchors: &[(Point, f64)]) -> Rect {
+    let mut dep = *a_ext;
+    for &(p, r) in anchors {
+        dep = dep.union(&Rect::from_coords(p.x - r, p.y - r, p.x + r, p.y + r));
+    }
+    dep
 }
 
 /// `max_t min(t + r_i, L - t + r_j)` over `t in [0, L]`.
@@ -130,26 +142,15 @@ pub fn private_knn_public_data<I: SpatialIndex>(
     filters: FilterCount,
 ) -> CandidateList {
     let k = k.max(1);
-    let Some(radii) = corner_radii(index, region, k, filters, DistanceKind::Min) else {
-        // Fewer than k targets in total: everything is a candidate.
-        let all = index.range(&Rect::from_coords(
-            f64::NEG_INFINITY,
-            f64::NEG_INFINITY,
-            f64::INFINITY,
-            f64::INFINITY,
-        ));
-        return CandidateList {
-            candidates: all,
-            a_ext: *region,
-            filters: Vec::new(),
-        };
+    let Some((radii, anchors)) = corner_radii(index, region, k, filters, DistanceKind::Min) else {
+        // Fewer than k targets in total: everything is a candidate, and
+        // any insertion anywhere changes the answer.
+        let all = index.range(&everywhere());
+        return CandidateList::from_parts(all, *region, Vec::new(), everywhere());
     };
     let a_ext = extended_area_knn(region, &radii);
-    CandidateList {
-        candidates: index.range(&a_ext),
-        a_ext,
-        filters: Vec::new(),
-    }
+    let dep = dep_of(&a_ext, &anchors);
+    CandidateList::from_parts(index.range(&a_ext), a_ext, Vec::new(), dep)
 }
 
 /// A private k-NN query over **private** (cloaked rectangle) target
@@ -162,25 +163,13 @@ pub fn private_knn_private_data<I: SpatialIndex>(
     filters: FilterCount,
 ) -> CandidateList {
     let k = k.max(1);
-    let Some(radii) = corner_radii(index, region, k, filters, DistanceKind::Max) else {
-        let all = index.range(&Rect::from_coords(
-            f64::NEG_INFINITY,
-            f64::NEG_INFINITY,
-            f64::INFINITY,
-            f64::INFINITY,
-        ));
-        return CandidateList {
-            candidates: all,
-            a_ext: *region,
-            filters: Vec::new(),
-        };
+    let Some((radii, anchors)) = corner_radii(index, region, k, filters, DistanceKind::Max) else {
+        let all = index.range(&everywhere());
+        return CandidateList::from_parts(all, *region, Vec::new(), everywhere());
     };
     let a_ext = extended_area_knn(region, &radii);
-    CandidateList {
-        candidates: index.range(&a_ext),
-        a_ext,
-        filters: Vec::new(),
-    }
+    let dep = dep_of(&a_ext, &anchors);
+    CandidateList::from_parts(index.range(&a_ext), a_ext, Vec::new(), dep)
 }
 
 #[cfg(test)]

@@ -41,11 +41,7 @@ pub fn private_nn_public_data<I: SpatialIndex>(
     let Some(vf) = assign_filters_public(index, region, filters) else {
         #[cfg(feature = "telemetry")]
         crate::tel::record_candidates_public(0);
-        return CandidateList {
-            candidates: Vec::new(),
-            a_ext: *region,
-            filters: Vec::new(),
-        };
+        return CandidateList::empty(region);
     };
     let a_ext = extended_area_public(region, &vf);
     let candidates = index.range(&a_ext);
@@ -57,11 +53,8 @@ pub fn private_nn_public_data<I: SpatialIndex>(
     );
     #[cfg(feature = "telemetry")]
     crate::tel::record_candidates_public(candidates.len());
-    CandidateList {
-        candidates,
-        a_ext,
-        filters: vf.distinct,
-    }
+    let dep = vf.dep_with(&a_ext);
+    CandidateList::from_parts(candidates, a_ext, vf.distinct, dep)
 }
 
 /// The Section 5.2 variant: a private nearest-neighbour query over
@@ -82,11 +75,7 @@ pub fn private_nn_private_data<I: SpatialIndex>(
     let Some(vf) = assign_filters_private(index, region, filters) else {
         #[cfg(feature = "telemetry")]
         crate::tel::record_candidates_private(0);
-        return CandidateList {
-            candidates: Vec::new(),
-            a_ext: *region,
-            filters: Vec::new(),
-        };
+        return CandidateList::empty(region);
     };
     let a_ext = extended_area_private(region, &vf, mode);
     let mut candidates: Vec<Entry> = index.range(&a_ext);
@@ -95,11 +84,8 @@ pub fn private_nn_private_data<I: SpatialIndex>(
     }
     #[cfg(feature = "telemetry")]
     crate::tel::record_candidates_private(candidates.len());
-    CandidateList {
-        candidates,
-        a_ext,
-        filters: vf.distinct,
-    }
+    let dep = vf.dep_with(&a_ext);
+    CandidateList::from_parts(candidates, a_ext, vf.distinct, dep)
 }
 
 #[cfg(test)]

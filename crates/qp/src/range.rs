@@ -35,6 +35,26 @@ pub struct RangeAnswer {
 }
 
 impl RangeAnswer {
+    /// Derives the aggregate interpretation (definite members, expected
+    /// count) of an already-computed overlap list against `query`. This
+    /// is the one place the partial-overlap semantics live, shared by
+    /// the direct path and the candidate-cache path.
+    pub fn from_overlapping(overlapping: Vec<Entry>, query: &Rect) -> Self {
+        let mut definite = 0usize;
+        let mut expected = 0.0f64;
+        for e in &overlapping {
+            if query.contains_rect(&e.mbr) {
+                definite += 1;
+            }
+            expected += e.mbr.overlap_fraction(query);
+        }
+        RangeAnswer {
+            overlapping,
+            definite,
+            expected_count: expected,
+        }
+    }
+
     /// Upper bound on the true count: every overlapping region *may*
     /// contribute its user.
     pub fn max_count(&self) -> usize {
@@ -51,20 +71,7 @@ impl RangeAnswer {
 /// A public (administrator) range query over private data: the query
 /// rectangle is exact, the stored objects are cloaked regions.
 pub fn public_range_over_private<I: SpatialIndex>(index: &I, query: &Rect) -> RangeAnswer {
-    let overlapping = index.range(query);
-    let mut definite = 0usize;
-    let mut expected = 0.0f64;
-    for e in &overlapping {
-        if query.contains_rect(&e.mbr) {
-            definite += 1;
-        }
-        expected += e.mbr.overlap_fraction(query);
-    }
-    RangeAnswer {
-        overlapping,
-        definite,
-        expected_count: expected,
-    }
+    RangeAnswer::from_overlapping(index.range(query), query)
 }
 
 /// A private range query ("targets within `radius` of me") over public
@@ -87,11 +94,9 @@ pub fn private_range_public_data<I: SpatialIndex>(
         .into_iter()
         .filter(|e| region.min_dist(e.mbr.center()) <= radius || e.mbr.intersects(region))
         .collect();
-    CandidateList {
-        candidates,
-        a_ext,
-        filters: Vec::new(),
-    }
+    // No filter search here: membership depends only on geometry inside
+    // `a_ext`, so that is the whole dependency region.
+    CandidateList::from_parts(candidates, a_ext, Vec::new(), a_ext)
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@
 //! | [`core`] | the assembled framework: server, client, end-to-end |
 //! | `telemetry` | metrics registry, tracing, flight recorder (feature `telemetry`, default on) |
 //! | `core::durability` | WAL, checkpoints, crash recovery for the trusted tier (feature `durability`, default on) |
+//! | `qp::cache` | candidate-answer cache + shared continuous-query execution (feature `qp-cache`, default on) |
 //!
 //! # Quickstart
 //!
@@ -62,10 +63,13 @@ pub mod prelude {
         CloakedUpdate, Pseudonym,
     };
     pub use casper_core::{
-        AnonymizerService, Casper, CasperClient, CasperServer, Category, ContinuousNn, Engine,
-        EndToEndAnswer, EndToEndBreakdown, FilterPolicy, ParallelEngine, PrivateHandle, Request,
-        Response, ShardedAnonymizer, StreamingAnonymizer, TransmissionModel,
+        AnonymizerService, Casper, CasperClient, CasperServer, Category, ContinuousNn,
+        ContinuousSet, Engine, EndToEndAnswer, EndToEndBreakdown, FilterPolicy, ParallelEngine,
+        PrivateHandle, Request, Response, ShardedAnonymizer, StreamingAnonymizer,
+        TransmissionModel,
     };
+    #[cfg(feature = "qp-cache")]
+    pub use casper_core::{CacheConfig, CacheStats};
     #[cfg(feature = "durability")]
     pub use casper_core::{
         recover_sharded_engine, DirStorage, DurabilityConfig, DurabilityError, DurableAnonymizer,
