@@ -50,9 +50,8 @@ fn populated_server(cache_on: bool) -> CasperServer {
     let mut server = CasperServer::new();
     server.set_query_cache_enabled(cache_on);
     let mut rng = StdRng::seed_from_u64(21);
-    server.load_public_targets(
-        (0..TARGETS).map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen()))),
-    );
+    server
+        .load_public_targets((0..TARGETS).map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen()))));
     for i in 0..TARGETS / 4 {
         // A quarter of the targets also belong to a category.
         let p = Point::new(rng.gen(), rng.gen());
@@ -120,8 +119,7 @@ fn run_snapshot(cache_on: bool) -> Sample {
 }
 
 fn run_continuous(cache_on: bool) -> Sample {
-    let mut casper =
-        Casper::new(BasicAnonymizer::basic(8)).with_query_cache(cache_on);
+    let mut casper = Casper::new(BasicAnonymizer::basic(8)).with_query_cache(cache_on);
     let mut rng = StdRng::seed_from_u64(55);
     casper.load_targets((0..TARGETS).map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen()))));
     // One co-located cluster: every member shares a cloaked region.
@@ -144,10 +142,7 @@ fn run_continuous(cache_on: bool) -> Sample {
         for i in 0..CLUSTER {
             casper.move_user(
                 UserId(i),
-                Point::new(
-                    (0.201 + i as f64 * 1e-6 + step).rem_euclid(1.0),
-                    0.201,
-                ),
+                Point::new((0.201 + i as f64 * 1e-6 + step).rem_euclid(1.0), 0.201),
             );
         }
         let answers = casper.tick_continuous(&mut set);

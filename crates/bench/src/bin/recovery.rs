@@ -174,7 +174,9 @@ fn section_json(samples: &[Sample]) -> String {
 
 fn main() {
     println!("=== crash recovery vs checkpoint interval ===");
-    println!("ops: {OPS}; users: {USERS}; geometry: height {GLOBAL_HEIGHT}, shard level {SHARD_LEVEL}");
+    println!(
+        "ops: {OPS}; users: {USERS}; geometry: height {GLOBAL_HEIGHT}, shard level {SHARD_LEVEL}"
+    );
 
     let mut mem = Vec::new();
     for &every in &INTERVALS {

@@ -29,9 +29,9 @@
 //! at urban speeds).
 
 use casper_geometry::Rect;
-use casper_grid::{PyramidStructure, UserId};
 #[cfg(feature = "qp-cache")]
 use casper_grid::VersionStamp;
+use casper_grid::{PyramidStructure, UserId};
 use casper_index::Entry;
 
 use crate::pipeline::Casper;
@@ -93,6 +93,18 @@ impl ContinuousNn {
 #[derive(Debug, Default)]
 pub struct ContinuousSet {
     monitors: Vec<ContinuousNn>,
+    /// Degradation level governing the tick stride (see
+    /// [`ContinuousSet::set_brownout_level`]).
+    #[cfg(feature = "overload")]
+    level: crate::overload::BrownoutLevel,
+    /// Rotating tick phase so striding spreads refreshes across ticks
+    /// instead of starving a fixed subset of monitors.
+    #[cfg(feature = "overload")]
+    phase: u64,
+    /// Refreshes served from cached candidates because the brownout
+    /// stride skipped the monitor this tick.
+    #[cfg(feature = "overload")]
+    stale_serves: u64,
 }
 
 impl ContinuousSet {
@@ -130,6 +142,35 @@ impl ContinuousSet {
     /// Total refreshes answered from cached candidate lists.
     pub fn total_reuses(&self) -> u64 {
         self.monitors.iter().map(|m| m.reuses).sum()
+    }
+}
+
+#[cfg(feature = "overload")]
+impl ContinuousSet {
+    /// Sets the degradation level for subsequent ticks. At
+    /// [`BrownoutLevel::Normal`](crate::overload::BrownoutLevel) every
+    /// monitor refreshes each tick; higher levels refresh only every
+    /// `tick_stride()`-th monitor (rotating phase, so no monitor
+    /// starves) and serve the rest from their cached candidate lists.
+    /// Answers degrade to *bounded staleness* — they never degrade
+    /// privacy: skipped monitors re-refine their cached (k-anonymously
+    /// produced) candidates against the exact position on the trusted
+    /// tier; no extra server contact, no smaller cloak.
+    pub fn set_brownout_level(&mut self, level: crate::overload::BrownoutLevel) {
+        self.level = level;
+    }
+
+    /// The degradation level currently applied to ticks.
+    pub fn brownout_level(&self) -> crate::overload::BrownoutLevel {
+        self.level
+    }
+
+    /// Refreshes answered from cached candidates because the brownout
+    /// stride skipped the monitor (distinct from
+    /// [`ContinuousSet::total_reuses`], which counts *validated*
+    /// reuse).
+    pub fn stale_serves(&self) -> u64 {
+        self.stale_serves
     }
 }
 
@@ -196,8 +237,39 @@ impl<P: PyramidStructure> Casper<P> {
     /// cloaked region share one candidate computation per tick through
     /// the server's candidate cache.
     pub fn tick_continuous(&mut self, set: &mut ContinuousSet) -> Vec<(UserId, Option<Entry>)> {
+        #[cfg(feature = "overload")]
+        let stride = {
+            let stride = set.level.tick_stride() as u64;
+            set.phase = set.phase.wrapping_add(1);
+            stride
+        };
         let mut answers = Vec::with_capacity(set.monitors.len());
-        for monitor in &mut set.monitors {
+        // The index feeds the brownout stride below, which only exists
+        // with the `overload` feature; without it the index is unused.
+        #[allow(clippy::unused_enumerate_index)]
+        for (_i, monitor) in set.monitors.iter_mut().enumerate() {
+            #[cfg(feature = "overload")]
+            if stride > 1 && !(_i as u64).wrapping_add(set.phase).is_multiple_of(stride) {
+                // Brownout: skip the server round trip and re-refine the
+                // cached (k-anonymously produced) candidates against the
+                // exact position on the trusted tier. Staleness is
+                // bounded by the stride — the monitor is due again
+                // within `stride` ticks.
+                set.stale_serves += 1;
+                let ans = self
+                    .anonymizer()
+                    .pyramid()
+                    .position_of(monitor.uid)
+                    .and_then(|pos| {
+                        monitor
+                            .candidates
+                            .iter()
+                            .min_by(|a, b| a.mbr.min_dist(pos).total_cmp(&b.mbr.min_dist(pos)))
+                            .copied()
+                    });
+                answers.push((monitor.uid, ans));
+                continue;
+            }
             let ans = self.refresh_continuous(monitor);
             answers.push((monitor.uid, ans));
         }

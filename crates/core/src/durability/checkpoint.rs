@@ -263,9 +263,9 @@ mod tests {
 
         let mut bytes = encode_checkpoint(1, &[vec![]]);
         bytes[5] = 9; // version low byte
-        // Version check happens after the CRC gate, so flipping the
-        // version byte first trips the checksum — as it should: the
-        // file no longer matches what the encoder wrote.
+                      // Version check happens after the CRC gate, so flipping the
+                      // version byte first trips the checksum — as it should: the
+                      // file no longer matches what the encoder wrote.
         assert!(matches!(
             decode_checkpoint(&bytes),
             Err(CheckpointError::BadChecksum)

@@ -150,8 +150,10 @@ mod tests {
         let (d, r) = DurableAnonymizer::recover(storage.clone(), cfg, make).unwrap();
         assert_eq!(r.boot_epoch, 1);
         assert_eq!(r.last_seq, 0);
-        d.try_register(UserId(1), Profile::new(2, 0.0), p(0.1, 0.1)).unwrap();
-        d.try_register(UserId(2), Profile::new(2, 0.0), p(0.12, 0.1)).unwrap();
+        d.try_register(UserId(1), Profile::new(2, 0.0), p(0.1, 0.1))
+            .unwrap();
+        d.try_register(UserId(2), Profile::new(2, 0.0), p(0.12, 0.1))
+            .unwrap();
         d.try_update_location(UserId(1), p(0.9, 0.9)).unwrap();
         d.try_deregister(UserId(2)).unwrap();
         drop(d);

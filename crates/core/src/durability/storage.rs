@@ -69,7 +69,9 @@ pub struct DirStorage {
 
 impl std::fmt::Debug for DirStorage {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DirStorage").field("root", &self.root).finish()
+        f.debug_struct("DirStorage")
+            .field("root", &self.root)
+            .finish()
     }
 }
 
@@ -132,7 +134,10 @@ impl Storage for DirStorage {
                 .open(self.path(name))?;
             handles.insert(name.to_string(), file);
         }
-        handles.get_mut(name).expect("just inserted").write_all(data)
+        handles
+            .get_mut(name)
+            .expect("just inserted")
+            .write_all(data)
     }
 
     fn sync(&self, name: &str) -> io::Result<()> {
@@ -203,7 +208,7 @@ pub struct FaultPlan {
 impl Default for FaultPlan {
     fn default() -> Self {
         Self {
-            seed: 0xCA5B_ED,
+            seed: 0x00CA_5BED,
             crash_after_writes: None,
             read_fault: 0.0,
             flip_torn_tail: true,
@@ -350,9 +355,7 @@ impl Storage for MemStorage {
                 // Short read: a deterministic prefix of the true data.
                 let data = match inner.files.get(name) {
                     Some(f) => f.data.clone(),
-                    None => {
-                        return Err(io::Error::new(io::ErrorKind::NotFound, "no such file"))
-                    }
+                    None => return Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
                 };
                 let cut = inner.rng.next_below(data.len() as u64 + 1) as usize;
                 return Ok(data[..cut].to_vec());
@@ -380,7 +383,12 @@ impl Storage for MemStorage {
             // as unacknowledged.
             let keep = inner.rng.next_below(data.len() as u64 + 1) as usize;
             let prefix = data[..keep].to_vec();
-            inner.files.entry(name.to_string()).or_default().data.extend(prefix);
+            inner
+                .files
+                .entry(name.to_string())
+                .or_default()
+                .data
+                .extend(prefix);
             return Err(io::Error::other("injected crash during append"));
         }
         inner
@@ -487,10 +495,13 @@ mod tests {
         s.append("w", b"durable-").unwrap(); // write 1
         s.sync("w").unwrap(); // write 2
         s.append("w", b"volatile").unwrap(); // write 3
-        // Write 4 crashes mid-append.
+                                             // Write 4 crashes mid-append.
         assert!(s.append("w", b"never").is_err());
         assert!(s.crashed());
-        assert!(s.append("w", b"dead").is_err(), "all writes fail after crash");
+        assert!(
+            s.append("w", b"dead").is_err(),
+            "all writes fail after crash"
+        );
         s.crash_restart(FaultPlan::default());
         let data = s.read("w").unwrap();
         assert!(data.starts_with(b"durable-"), "synced prefix must survive");

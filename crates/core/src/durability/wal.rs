@@ -586,7 +586,10 @@ mod tests {
         let op = WalOp::Deregister { uid: UserId(1) };
         assert!(wal.commit(&op).is_ok()); // append+sync = writes 1,2
         let err = wal.commit(&op).unwrap_err(); // write 3 crashes
-        assert!(matches!(err, DurabilityError::WalPoisoned | DurabilityError::Io(_)));
+        assert!(matches!(
+            err,
+            DurabilityError::WalPoisoned | DurabilityError::Io(_)
+        ));
         assert!(matches!(
             wal.commit(&op).unwrap_err(),
             DurabilityError::WalPoisoned

@@ -193,6 +193,16 @@ pub enum Response {
     /// The executing engine cannot serve this request (e.g. a private
     /// buddy query over a wire link that has no such message).
     Unsupported(&'static str),
+    /// The engine refused the request under overload: its deadline had
+    /// expired, an admission queue was full, the CoDel control law was
+    /// shedding its priority class, the brownout level disables its
+    /// path, or the fail-private guard vetoed a cloak that missed its
+    /// profile. The work was **not** done; the client may retry after
+    /// the hinted delay.
+    Overloaded {
+        /// How long the sender should wait before retrying.
+        retry_after: Duration,
+    },
 }
 
 impl Request {
@@ -216,9 +226,10 @@ impl Request {
                 category: None,
             }),
             Message::MetricsRequest => Ok(Request::Metrics),
-            Message::Candidates(_) | Message::UpdateAck { .. } | Message::MetricsText(_) => {
-                Err("client sent a server-only message")
-            }
+            Message::Candidates(_)
+            | Message::UpdateAck { .. }
+            | Message::MetricsText(_)
+            | Message::Overloaded { .. } => Err("client sent a server-only message"),
         }
     }
 }
@@ -231,6 +242,9 @@ impl Response {
             Response::RegionAck { seq, boot_id, .. } => Ok(Message::UpdateAck { boot_id, seq }),
             Response::Candidates { entries, .. } => Ok(Message::Candidates(entries)),
             Response::MetricsPage(page) => Ok(Message::MetricsText(page)),
+            Response::Overloaded { retry_after } => Ok(Message::Overloaded {
+                retry_after_ms: u64::try_from(retry_after.as_millis()).unwrap_or(u64::MAX),
+            }),
             _ => Err("response has no wire representation"),
         }
     }
@@ -316,6 +330,24 @@ impl ServerPlane {
         self.server.write()
     }
 
+    /// Deadline-aware [`ServerPlane::execute`]: a request whose budget
+    /// has already run out is answered [`Response::Overloaded`] without
+    /// touching the server — the sender has stopped waiting, so doing
+    /// the work would only burn capacity the live requests need.
+    #[cfg(feature = "overload")]
+    pub fn execute_with_deadline(
+        &self,
+        req: Request,
+        deadline: crate::overload::Deadline,
+    ) -> Response {
+        if deadline.is_expired() {
+            return Response::Overloaded {
+                retry_after: crate::overload::OverloadConfig::default().retry_after,
+            };
+        }
+        self.execute(req)
+    }
+
     /// Executes one server-tier request. User-tier requests come back
     /// [`Response::Unsupported`] — they belong to an anonymizer-holding
     /// engine, not the bare server plane.
@@ -393,7 +425,9 @@ impl ServerPlane {
                     processing: Some(stats.processing),
                 }
             }
-            Request::AdminCount { area } => Response::Count(self.server.read().range_private(&area)),
+            Request::AdminCount { area } => {
+                Response::Count(self.server.read().range_private(&area))
+            }
             Request::Metrics => {
                 #[cfg(feature = "telemetry")]
                 let page = casper_telemetry::registry().render();
@@ -682,6 +716,11 @@ struct EngineShared<A: AnonymizerService> {
     /// exactly the service-capacity property the throughput bench
     /// measures; `Duration::ZERO` (the default) disables the model.
     client_rtt: Duration,
+    /// Overload-control state; `None` (the default) leaves the engine's
+    /// legacy always-admit behaviour untouched. Installed by
+    /// [`ParallelEngine::with_overload`].
+    #[cfg(feature = "overload")]
+    overload: Option<Arc<crate::overload::OverloadState>>,
 }
 
 impl<A: AnonymizerService> EngineShared<A> {
@@ -842,6 +881,8 @@ impl<A: AnonymizerService + 'static> ParallelEngine<A> {
                 transmission: TransmissionModel::default(),
                 filters: FilterCount::Four,
                 client_rtt: Duration::ZERO,
+                #[cfg(feature = "overload")]
+                overload: None,
             }),
             pool: WorkerPool::new(threads),
         }
@@ -921,9 +962,13 @@ impl<A: AnonymizerService + 'static> ParallelEngine<A> {
     /// Registers a batch of users across the worker pool, partitioned
     /// by shard affinity. Returns how many registrations were applied.
     pub fn register_batch(&self, users: Vec<(UserId, Profile, Point)>) -> usize {
-        self.keyed_batch(users, |&(_, _, pos)| pos, |shared, (uid, profile, pos)| {
-            shared.apply(Request::Register { uid, profile, pos });
-        })
+        self.keyed_batch(
+            users,
+            |&(_, _, pos)| pos,
+            |shared, (uid, profile, pos)| {
+                shared.apply(Request::Register { uid, profile, pos });
+            },
+        )
     }
 
     /// Applies a batch of location updates across the worker pool,
@@ -931,9 +976,13 @@ impl<A: AnonymizerService + 'static> ParallelEngine<A> {
     /// one worker, preserving per-shard order). Returns how many were
     /// applied.
     pub fn update_batch(&self, updates: Vec<(UserId, Point)>) -> usize {
-        self.keyed_batch(updates, |&(_, pos)| pos, |shared, (uid, pos)| {
-            shared.apply(Request::UpdateLocation { uid, pos });
-        })
+        self.keyed_batch(
+            updates,
+            |&(_, pos)| pos,
+            |shared, (uid, pos)| {
+                shared.apply(Request::UpdateLocation { uid, pos });
+            },
+        )
     }
 
     /// Cloaks a batch of users across the worker pool, returning the
@@ -1014,6 +1063,232 @@ impl<A: AnonymizerService + 'static> ParallelEngine<A> {
     pub fn cache_stats(&self) -> Option<casper_qp::cache::CacheStats> {
         self.shared.plane.read().cache_stats()
     }
+}
+
+/// Overload control: admission gates, deadline propagation, brownout and
+/// the fail-private guard (§13 of DESIGN.md).
+#[cfg(feature = "overload")]
+impl<A: AnonymizerService + 'static> ParallelEngine<A> {
+    /// Installs the overload-control subsystem: one admission gate per
+    /// worker, CoDel shedding, brownout stepping, deadline enforcement
+    /// and the fail-private guard. Without this call the engine keeps
+    /// its legacy always-admit behaviour even when the `overload`
+    /// feature is compiled in.
+    pub fn with_overload(mut self, cfg: crate::overload::OverloadConfig) -> Self {
+        let slots = self.pool.threads();
+        self.configure().overload = Some(Arc::new(crate::overload::OverloadState::new(cfg, slots)));
+        self
+    }
+
+    /// Point-in-time overload counters (`None` until
+    /// [`ParallelEngine::with_overload`] installs the subsystem).
+    pub fn overload_stats(&self) -> Option<crate::overload::OverloadStats> {
+        self.shared.overload.as_ref().map(|s| s.stats())
+    }
+
+    /// The current brownout level ([`Normal`] when overload control is
+    /// not installed).
+    ///
+    /// [`Normal`]: crate::overload::BrownoutLevel::Normal
+    pub fn brownout_level(&self) -> crate::overload::BrownoutLevel {
+        self.shared
+            .overload
+            .as_ref()
+            .map_or(crate::overload::BrownoutLevel::Normal, |s| s.level())
+    }
+
+    /// Forces a brownout level (operator override; tests). The
+    /// controller keeps stepping from here on subsequent polls. No-op
+    /// without overload control installed.
+    pub fn set_brownout_level(&self, level: crate::overload::BrownoutLevel) {
+        if let Some(s) = self.shared.overload.as_ref() {
+            s.set_level(level);
+        }
+    }
+
+    /// Feeds the brownout controller one observation of recent queue
+    /// sojourn p99 and depth, stepping the level up or down with
+    /// hysteresis. Call periodically (e.g. once per tick loop);
+    /// returns the level now in force.
+    pub fn poll_brownout(&self) -> crate::overload::BrownoutLevel {
+        self.shared
+            .overload
+            .as_ref()
+            .map_or(crate::overload::BrownoutLevel::Normal, |s| {
+                s.poll_brownout()
+            })
+    }
+
+    /// Admission slot key for a request: the stable per-entity id, so
+    /// one user's (or handle's) work serialises on one gate and one
+    /// worker while distinct entities spread across the pool.
+    fn overload_key(req: &Request) -> u64 {
+        match *req {
+            Request::Register { uid, .. }
+            | Request::UpdateLocation { uid, .. }
+            | Request::UpdateProfile { uid, .. }
+            | Request::SignOff { uid }
+            | Request::Cloak { uid }
+            | Request::QueryNn { uid, .. }
+            | Request::QueryNnPrivate { uid } => uid.0,
+            Request::UpsertRegion { handle, .. } | Request::RemoveRegion { handle } => handle,
+            Request::NnCandidates { pseudonym, .. } => pseudonym,
+            Request::NnPrivateCandidates { .. } | Request::AdminCount { .. } | Request::Metrics => {
+                0
+            }
+        }
+    }
+
+    /// Whether the brownout ladder has switched this request's path off
+    /// (category-filtered and aggregate queries stop at `Stale`).
+    fn brownout_disables(level: crate::overload::BrownoutLevel, req: &Request) -> bool {
+        !level.category_paths_enabled()
+            && matches!(
+                req,
+                Request::AdminCount { .. }
+                    | Request::QueryNn {
+                        category: Some(_),
+                        ..
+                    }
+                    | Request::NnCandidates {
+                        category: Some(_),
+                        ..
+                    }
+            )
+    }
+
+    /// Executes one request under a deadline, with the default priority
+    /// class for its request kind. Equivalent to
+    /// [`ParallelEngine::submit`] when overload control is not
+    /// installed (an already-expired deadline still sheds).
+    pub fn execute_with_deadline(
+        &self,
+        req: Request,
+        deadline: crate::overload::Deadline,
+    ) -> Response {
+        self.submit_classified(req, deadline, crate::overload::Priority::of(&req))
+    }
+
+    /// Executes a batch of `(request, deadline)` pairs across the
+    /// worker pool with admission control per item, preserving input
+    /// order in the responses. Shed items come back
+    /// [`Response::Overloaded`] without occupying a worker.
+    pub fn execute_batch_with_deadline(
+        &self,
+        reqs: Vec<(Request, crate::overload::Deadline)>,
+    ) -> Vec<Response> {
+        let pending: Vec<(usize, channel::Receiver<Response>)> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, &(req, deadline))| {
+                (
+                    i,
+                    self.dispatch_classified(req, deadline, crate::overload::Priority::of(&req)),
+                )
+            })
+            .collect();
+        let mut out: Vec<Option<Response>> = reqs.iter().map(|_| None).collect();
+        for (i, rx) in pending {
+            out[i] = Some(
+                rx.recv()
+                    .unwrap_or(Response::Unsupported("worker pool unavailable")),
+            );
+        }
+        out.into_iter().flatten().collect()
+    }
+
+    /// Executes one request under a deadline with an explicit priority
+    /// class — the entry point continuous-query machinery uses to mark
+    /// re-evaluation ticks as first-shed work.
+    pub fn submit_classified(
+        &self,
+        req: Request,
+        deadline: crate::overload::Deadline,
+        pri: crate::overload::Priority,
+    ) -> Response {
+        self.dispatch_classified(req, deadline, pri)
+            .recv()
+            .unwrap_or(Response::Unsupported("worker pool unavailable"))
+    }
+
+    /// Admission-checks `req` and either enqueues it on its slot's
+    /// worker or short-circuits a shed; the returned channel always
+    /// yields exactly one response.
+    fn dispatch_classified(
+        &self,
+        req: Request,
+        deadline: crate::overload::Deadline,
+        pri: crate::overload::Priority,
+    ) -> channel::Receiver<Response> {
+        use crate::overload::ShedReason;
+
+        let (tx, rx) = channel::bounded::<Response>(1);
+        let Some(state) = self.shared.overload.as_ref() else {
+            // No subsystem installed: honour an expired deadline (the
+            // caller has stopped waiting) but otherwise run inline.
+            let resp = if deadline.is_expired() {
+                Response::Overloaded {
+                    retry_after: crate::overload::OverloadConfig::default().retry_after,
+                }
+            } else {
+                self.shared.apply(req)
+            };
+            let _ = tx.send(resp);
+            return rx;
+        };
+        if Self::brownout_disables(state.level(), &req) {
+            let shed = state.shed(ShedReason::Brownout);
+            let _ = tx.send(Response::Overloaded {
+                retry_after: shed.retry_after,
+            });
+            return rx;
+        }
+        let slot = state.slot_of(Self::overload_key(&req));
+        if let Err(shed) = state.admit(slot, pri, deadline) {
+            let _ = tx.send(Response::Overloaded {
+                retry_after: shed.retry_after,
+            });
+            return rx;
+        }
+        let enqueued = Instant::now();
+        let shared = Arc::clone(&self.shared);
+        let state = Arc::clone(state);
+        self.pool.run_on(slot, move || {
+            let resp = match state.start(slot, enqueued, pri, deadline) {
+                Err(shed) => Response::Overloaded {
+                    retry_after: shed.retry_after,
+                },
+                Ok(()) => guard_fail_private(&shared, &state, &req, shared.apply(req)),
+            };
+            let _ = tx.send(resp);
+        });
+        rx
+    }
+}
+
+/// The fail-private guard: a produced cloak that does not satisfy the
+/// user's `(k, A_min)` profile is **never** released — under any
+/// overload or brownout level the response degrades to an explicit
+/// [`Response::Overloaded`] shed instead of a weaker region. Privacy
+/// fails closed; availability is what gives.
+#[cfg(feature = "overload")]
+fn guard_fail_private<A: AnonymizerService>(
+    shared: &EngineShared<A>,
+    state: &crate::overload::OverloadState,
+    req: &Request,
+    resp: Response,
+) -> Response {
+    if let (Request::Cloak { uid }, Response::Cloaked(Some(region))) = (req, &resp) {
+        if let Some(profile) = shared.anonymizer.profile_of(*uid) {
+            if region.user_count < profile.k || region.rect.area() < profile.a_min {
+                let shed = state.note_fail_private();
+                return Response::Overloaded {
+                    retry_after: shed.retry_after,
+                };
+            }
+        }
+    }
+    resp
 }
 
 impl<A: AnonymizerService + 'static> Engine for ParallelEngine<A> {
@@ -1219,9 +1494,7 @@ mod tests {
         assert_eq!(engine.with_server(|s| s.private_count()), 199);
         assert_eq!(engine.anonymizer().user_count(), 199);
         // An admin count sees regions, never exact points.
-        let Response::Count(ans) = engine.submit(Request::AdminCount {
-            area: Rect::unit(),
-        }) else {
+        let Response::Count(ans) = engine.submit(Request::AdminCount { area: Rect::unit() }) else {
             panic!("expected a count");
         };
         assert_eq!(ans.max_count(), 199);
@@ -1268,7 +1541,9 @@ mod tests {
     #[test]
     fn execute_batch_fans_out_and_preserves_order() {
         let mut engine = populated_engine(4);
-        let reqs: Vec<Request> = (0..100u64).map(|i| Request::Cloak { uid: uid(i) }).collect();
+        let reqs: Vec<Request> = (0..100u64)
+            .map(|i| Request::Cloak { uid: uid(i) })
+            .collect();
         let resps = engine.execute_batch(reqs);
         assert_eq!(resps.len(), 100);
         for (i, resp) in resps.iter().enumerate() {

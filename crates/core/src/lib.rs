@@ -46,6 +46,12 @@
 //!   fault-injecting storage for kill-loop testing.
 //! * [`StreamingAnonymizer`] — a concurrent ingestion front that absorbs
 //!   high-rate location-update streams on a worker thread.
+//! * [`overload`] (feature `overload`, on by default) — overload
+//!   control across the request plane: deadline propagation on every
+//!   hop, per-shard admission queues with CoDel shedding and priority
+//!   classes, per-connection circuit breakers, and a brownout ladder
+//!   whose hard invariant is **fail private, not fail open** — cloaking
+//!   never weakens `(k, A_min)` under load; work is shed instead.
 //! * **Candidate caching** (feature `qp-cache`, on by default) — the
 //!   server tier memoises candidate lists keyed by cloaked region and
 //!   query shape, invalidated exactly through per-cell version counters
@@ -63,6 +69,8 @@ pub mod engine;
 #[cfg(feature = "faults")]
 pub mod faults;
 pub mod net;
+#[cfg(feature = "overload")]
+pub mod overload;
 mod pipeline;
 mod policy;
 pub mod retry;
@@ -86,6 +94,11 @@ pub use durability::{
 };
 pub use engine::{AnonymizerService, Engine, ParallelEngine, Request, Response, WorkerPool};
 pub use net::{ClientConfig, NetError, NetworkClient, NetworkServer, ServerConfig, MAX_FRAME_LEN};
+#[cfg(feature = "overload")]
+pub use overload::{
+    BreakerConfig, BreakerState, BrownoutConfig, BrownoutController, BrownoutLevel, CircuitBreaker,
+    Deadline, OverloadConfig, OverloadStats, Priority, Shed, ShedReason,
+};
 pub use pipeline::{Casper, EndToEndAnswer, EndToEndBreakdown, QueryOutcome, RemoteCasper};
 pub use policy::FilterPolicy;
 pub use retry::RetryPolicy;

@@ -33,15 +33,17 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use casper_geometry::Rect;
 use casper_qp::FilterCount;
 
 use crate::engine::{Request, Response, ServerPlane};
+#[cfg(feature = "overload")]
+use crate::overload::{BreakerConfig, CircuitBreaker};
 use crate::retry::{RetryPolicy, SplitMix64};
-use crate::wire::{decode, encode, Message, WireError};
+use crate::wire::{decode, encode, encode_with_budget, Message, WireError};
 use crate::{CasperServer, PrivateHandle};
 
 /// Hard cap on a frame's payload length (1 MiB ≈ 16K records). A peer
@@ -65,6 +67,19 @@ pub enum NetError {
     /// The peer violated the protocol (oversized frame, checksum
     /// mismatch, unexpected message kind, ...).
     Protocol(&'static str),
+    /// The peer shed the request (or a local circuit breaker fast-failed
+    /// it). Back off for at least `retry_after` before trying again.
+    Overloaded {
+        /// Suggested back-off before the next attempt.
+        retry_after: Duration,
+    },
+    /// The retry loop stopped early because the remaining request budget
+    /// could not cover another attempt's worst-case timeout: retrying
+    /// would only deliver an answer after its deadline.
+    GaveUp {
+        /// Budget that was left when the client gave up.
+        remaining_budget: Duration,
+    },
 }
 
 impl From<std::io::Error> for NetError {
@@ -85,6 +100,13 @@ impl std::fmt::Display for NetError {
             NetError::Io(e) => write!(f, "io: {e}"),
             NetError::Wire(e) => write!(f, "wire: {e}"),
             NetError::Protocol(what) => write!(f, "protocol: {what}"),
+            NetError::Overloaded { retry_after } => {
+                write!(f, "overloaded: retry after {retry_after:?}")
+            }
+            NetError::GaveUp { remaining_budget } => write!(
+                f,
+                "gave up: {remaining_budget:?} budget cannot cover another attempt"
+            ),
         }
     }
 }
@@ -194,6 +216,7 @@ struct StatsInner {
     protocol_errors: AtomicU64,
     stale_updates: AtomicU64,
     connection_errors: AtomicU64,
+    overloaded_replies: AtomicU64,
 }
 
 /// A point-in-time snapshot of the server's per-connection error
@@ -221,6 +244,9 @@ pub struct NetStats {
     pub stale_updates: u64,
     /// Connections that terminated with an error (each logged).
     pub connection_errors: u64,
+    /// Requests answered with [`Message::Overloaded`] instead of being
+    /// executed (expired deadline or shed by admission control).
+    pub overloaded_replies: u64,
 }
 
 impl StatsInner {
@@ -236,6 +262,7 @@ impl StatsInner {
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             stale_updates: self.stale_updates.load(Ordering::Relaxed),
             connection_errors: self.connection_errors.load(Ordering::Relaxed),
+            overloaded_replies: self.overloaded_replies.load(Ordering::Relaxed),
         }
     }
 }
@@ -483,7 +510,9 @@ fn serve_connection(
     // Periodic read timeouts let the worker observe the stop flag while
     // the client is idle; the write timeout keeps a stalled client from
     // parking the worker forever.
-    stream.set_read_timeout(Some(Duration::from_millis(50))).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .ok();
     stream.set_write_timeout(Some(Duration::from_secs(2))).ok();
     loop {
         let mut header = [0u8; FRAME_HEADER_LEN];
@@ -509,6 +538,11 @@ fn serve_connection(
             crate::tel::net_server().checksum_failures.inc();
             return Err(NetError::Protocol("frame checksum mismatch"));
         }
+        // The deadline budget rides the record padding; read it before the
+        // buffer moves into the decoder. Always zero ("no deadline") for
+        // peers that never stamp budgets.
+        #[cfg(feature = "overload")]
+        let budget_ms = crate::wire::frame_budget(&frame);
         let msg = match decode(Bytes::from(frame)) {
             Ok(msg) => msg,
             Err(e) => {
@@ -532,11 +566,26 @@ fn serve_connection(
                 return Err(NetError::Protocol(what));
             }
         };
+        // Budget check at the last hop: work whose deadline has already
+        // passed is answered `Overloaded` without touching the plane —
+        // the answer would arrive dead anyway, and under a flash crowd
+        // executing doomed work is exactly what melts the queue.
+        #[cfg(feature = "overload")]
+        let resp = plane.execute_with_deadline(
+            req,
+            crate::overload::Deadline::from_budget_millis(budget_ms),
+        );
+        #[cfg(not(feature = "overload"))]
         let resp = plane.execute(req);
         if let Response::RegionAck { applied: false, .. } = resp {
             stats.stale_updates.fetch_add(1, Ordering::Relaxed);
             #[cfg(feature = "telemetry")]
             crate::tel::net_server().stale_updates.inc();
+        }
+        if let Response::Overloaded { .. } = resp {
+            stats.overloaded_replies.fetch_add(1, Ordering::Relaxed);
+            #[cfg(feature = "telemetry")]
+            crate::tel::net_server().overloaded_replies.inc();
         }
         let reply = match resp.into_wire() {
             Ok(reply) => reply,
@@ -564,6 +613,19 @@ pub struct ClientConfig {
     pub retry: RetryPolicy,
     /// Seed for the deterministic backoff jitter stream.
     pub jitter_seed: u64,
+    /// Default per-operation deadline budget. When set, every operation
+    /// gets `Deadline::within(budget)` at its first attempt: the budget is
+    /// stamped into outgoing frames (so the server sheds doomed work) and
+    /// bounds the retry loop (see [`NetError::GaveUp`]). `None` (the
+    /// default) keeps the pre-deadline behaviour: unbounded operations.
+    pub request_budget: Option<Duration>,
+    /// Circuit-breaker tuning for this connection. `None` (the default)
+    /// disables the breaker. With a breaker, repeated transport failures
+    /// or `Overloaded` replies trip it open and subsequent operations
+    /// fast-fail with [`NetError::Overloaded`] — no socket work, no
+    /// timeout burned — until the cooldown admits a probe.
+    #[cfg(feature = "overload")]
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for ClientConfig {
@@ -573,7 +635,10 @@ impl Default for ClientConfig {
             read_timeout: Duration::from_secs(2),
             write_timeout: Duration::from_secs(2),
             retry: RetryPolicy::default(),
-            jitter_seed: 0xCA5B_E7,
+            jitter_seed: 0x00CA_5BE7,
+            request_budget: None,
+            #[cfg(feature = "overload")]
+            breaker: None,
         }
     }
 }
@@ -587,6 +652,14 @@ pub struct ClientStats {
     pub retries: u64,
     /// Cloaked regions replayed to a freshly reconnected server.
     pub replayed_regions: u64,
+    /// Operations fast-failed by the local circuit breaker (no socket
+    /// work at all).
+    pub breaker_fast_fails: u64,
+    /// Operations abandoned because the remaining deadline budget could
+    /// not cover another attempt ([`NetError::GaveUp`]).
+    pub gave_up: u64,
+    /// `Overloaded` replies received from the server.
+    pub overloaded_replies: u64,
 }
 
 /// The anonymizer-side connection to a [`NetworkServer`].
@@ -619,6 +692,11 @@ pub struct NetworkClient {
     /// ack; a change means the server restarted and lost its private
     /// store, so every tracked handle must be replayed.
     server_boot: Option<u64>,
+    /// Explicit deadline for the next operations, overriding the
+    /// config-derived per-operation budget (see `set_deadline`).
+    deadline: Option<Instant>,
+    #[cfg(feature = "overload")]
+    breaker: Option<CircuitBreaker>,
     stats: ClientStats,
 }
 
@@ -648,8 +726,25 @@ impl NetworkClient {
             last_known: std::collections::BTreeMap::new(),
             dirty: std::collections::BTreeSet::new(),
             server_boot: None,
+            deadline: None,
+            #[cfg(feature = "overload")]
+            breaker: config.breaker.map(CircuitBreaker::new),
             stats: ClientStats::default(),
         }
+    }
+
+    /// Pins an explicit deadline for subsequent operations (overriding
+    /// [`ClientConfig::request_budget`]); `None` reverts to the
+    /// config-derived budget. The pipeline sets this per query so one
+    /// end-to-end deadline governs cloak, transport and refinement.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// The circuit breaker's current state, when one is configured.
+    #[cfg(feature = "overload")]
+    pub fn breaker_state(&self) -> Option<crate::overload::BreakerState> {
+        self.breaker.as_ref().map(|b| b.state())
     }
 
     /// Resilience counters (reconnects, retries, replays).
@@ -704,7 +799,9 @@ impl NetworkClient {
             let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
             stream.set_nodelay(true).ok();
             stream.set_read_timeout(Some(self.config.read_timeout)).ok();
-            stream.set_write_timeout(Some(self.config.write_timeout)).ok();
+            stream
+                .set_write_timeout(Some(self.config.write_timeout))
+                .ok();
             self.stream = Some(stream);
             self.stats.connects += 1;
             #[cfg(feature = "telemetry")]
@@ -731,7 +828,9 @@ impl NetworkClient {
                 seq,
                 region,
             };
-            match self.transact(&msg) {
+            // Replay is background repair work, not a client-visible
+            // operation: it carries no deadline.
+            match self.transact(&msg, None) {
                 Ok(Message::UpdateAck { boot_id, .. }) => {
                     self.note_boot(boot_id);
                     self.dirty.remove(&handle);
@@ -752,27 +851,73 @@ impl NetworkClient {
         Ok(())
     }
 
-    /// One request/response exchange on the live stream (no retry).
-    fn transact(&mut self, msg: &Message) -> Result<Message, NetError> {
+    /// One request/response exchange on the live stream (no retry). The
+    /// remaining deadline budget, if any, is stamped into the outgoing
+    /// frame's record padding so the server can shed doomed work.
+    fn transact(&mut self, msg: &Message, deadline: Option<Instant>) -> Result<Message, NetError> {
         let stream = self
             .stream
             .as_mut()
             .ok_or(NetError::Protocol("not connected"))?;
-        write_frame(stream, &encode(msg))?;
+        let budget_ms = match deadline {
+            None => 0,
+            Some(d) => {
+                let left = d.saturating_duration_since(Instant::now());
+                (left.as_millis() as u64).max(1)
+            }
+        };
+        write_frame(stream, &encode_with_budget(msg, budget_ms))?;
         let frame = read_frame(stream)?;
         Ok(decode(Bytes::from(frame))?)
     }
 
-    fn try_once(&mut self, msg: &Message) -> Result<Message, NetError> {
+    fn try_once(&mut self, msg: &Message, deadline: Option<Instant>) -> Result<Message, NetError> {
         self.ensure_connected()?;
-        self.transact(msg)
+        self.transact(msg, deadline)
+    }
+
+    /// Worst-case wall-clock cost of one more attempt: a reconnect plus a
+    /// full request/response exchange, each bounded by its timeout.
+    fn attempt_cost(&self) -> Duration {
+        self.config.connect_timeout + self.config.read_timeout + self.config.write_timeout
     }
 
     /// Runs one exchange under the retry policy. Any failure drops the
     /// stream (the next attempt reconnects and replays), sleeps the
     /// backoff, and tries again. Safe for every message kind: queries are
     /// read-only and updates are idempotent under their sequence number.
+    ///
+    /// Deadline-aware: retries stop with [`NetError::GaveUp`] as soon as
+    /// the remaining budget cannot cover the backoff sleep plus another
+    /// attempt's worst-case timeouts. Breaker-aware (feature `overload`):
+    /// an open breaker fast-fails without touching the socket, and an
+    /// `Overloaded` reply from the server surfaces immediately as
+    /// [`NetError::Overloaded`] — retrying into a shedding server only
+    /// deepens its queues.
     fn round_trip(&mut self, msg: &Message) -> Result<Message, NetError> {
+        #[cfg(feature = "overload")]
+        if let Some(b) = self.breaker.as_mut() {
+            if let Err(retry_after) = b.check(Instant::now()) {
+                self.stats.breaker_fast_fails += 1;
+                #[cfg(feature = "telemetry")]
+                crate::tel::record_breaker("fast_fail");
+                return Err(NetError::Overloaded { retry_after });
+            }
+        }
+        // Budget check at the first hop: a deadline that has already
+        // expired cannot be met by any reply, so fail fast without
+        // spending a socket round trip on dead work.
+        if let Some(d) = self.deadline {
+            if d <= Instant::now() {
+                self.stats.gave_up += 1;
+                return Err(NetError::GaveUp {
+                    remaining_budget: Duration::ZERO,
+                });
+            }
+        }
+        let deadline = self
+            .deadline
+            .or_else(|| self.config.request_budget.map(|b| Instant::now() + b));
         let mut last_err = NetError::Protocol("retry budget exhausted");
         for attempt in 0..self.config.retry.attempts() {
             if attempt > 0 {
@@ -781,11 +926,52 @@ impl NetworkClient {
                     #[cfg(feature = "telemetry")]
                     crate::tel::record_client_retry();
                 }
-                std::thread::sleep(self.config.retry.delay_for(attempt - 1, &mut self.jitter));
+                let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+                match self.config.retry.delay_within(
+                    attempt - 1,
+                    remaining,
+                    self.attempt_cost(),
+                    &mut self.jitter,
+                ) {
+                    Some(delay) => std::thread::sleep(delay),
+                    None => {
+                        self.stats.gave_up += 1;
+                        return Err(NetError::GaveUp {
+                            remaining_budget: remaining.unwrap_or_default(),
+                        });
+                    }
+                }
             }
-            match self.try_once(msg) {
-                Ok(reply) => return Ok(reply),
+            match self.try_once(msg, deadline) {
+                Ok(Message::Overloaded { retry_after_ms }) => {
+                    // An explicit shed is a *complete* answer: surface it
+                    // without retrying, and let the breaker learn that the
+                    // peer is saturated.
+                    self.stats.overloaded_replies += 1;
+                    #[cfg(feature = "overload")]
+                    if let Some(b) = self.breaker.as_mut() {
+                        b.record_failure(Instant::now());
+                    }
+                    return Err(NetError::Overloaded {
+                        retry_after: Duration::from_millis(retry_after_ms),
+                    });
+                }
+                Ok(reply) => {
+                    #[cfg(feature = "overload")]
+                    if let Some(b) = self.breaker.as_mut() {
+                        b.record_success();
+                    }
+                    return Ok(reply);
+                }
                 Err(e) => {
+                    #[cfg(feature = "overload")]
+                    if let Some(b) = self.breaker.as_mut() {
+                        b.record_failure(Instant::now());
+                        #[cfg(feature = "telemetry")]
+                        if b.state() == crate::overload::BreakerState::Open {
+                            crate::tel::record_breaker("open");
+                        }
+                    }
                     self.drop_stream();
                     last_err = e;
                 }
@@ -880,6 +1066,7 @@ mod tests {
                 jitter: 0.2,
             },
             jitter_seed: 7,
+            ..ClientConfig::default()
         }
     }
 

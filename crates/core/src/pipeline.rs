@@ -151,6 +151,11 @@ pub(crate) trait ServerLink {
     fn pending(&self) -> usize {
         0
     }
+
+    /// Pins the deadline governing subsequent operations (transport
+    /// links stamp it into frames and bound their retries). In-process
+    /// links ignore it: there is no queueing between them and the plane.
+    fn set_deadline(&mut self, _deadline: Option<Instant>) {}
 }
 
 /// The in-process link: every request goes straight to the one
@@ -173,12 +178,17 @@ impl ServerLink for LocalLink {
 #[derive(Debug)]
 pub(crate) struct RemoteLink {
     net: NetworkClient,
-    /// Cloaked updates awaiting a reachable server: `handle → region`,
-    /// latest-wins per handle.
-    pending: BTreeMap<u64, Rect>,
+    /// Cloaked updates awaiting a reachable server: `handle → (region,
+    /// queued-at)`, latest-wins per handle.
+    pending: BTreeMap<u64, (Rect, Instant)>,
     pending_cap: usize,
+    /// Maximum age a queued update may reach before it is dropped as
+    /// stale instead of delivered. `None` (the default) keeps entries
+    /// until flushed or evicted by the cap.
+    pending_ttl: Option<Duration>,
     dropped_updates: u64,
     overwritten_updates: u64,
+    expired_updates: u64,
     pending_high_water: usize,
 }
 
@@ -188,9 +198,35 @@ impl RemoteLink {
             net: NetworkClient::with_config(server, config),
             pending: BTreeMap::new(),
             pending_cap: DEFAULT_PENDING_CAP,
+            pending_ttl: None,
             dropped_updates: 0,
             overwritten_updates: 0,
+            expired_updates: 0,
             pending_high_water: 0,
+        }
+    }
+
+    /// Drops queued updates whose age exceeds the pending TTL. Under
+    /// overload a long outage makes queued regions worthless — the user
+    /// has moved on and a fresher region will be cloaked at the next
+    /// update — so delivering them late only adds load to a recovering
+    /// server. Dropping is privacy-safe: the server keeps the previous
+    /// (still k-anonymous) region; only freshness is lost.
+    fn expire_stale(&mut self) {
+        let Some(ttl) = self.pending_ttl else {
+            return;
+        };
+        let now = Instant::now();
+        let before = self.pending.len();
+        self.pending
+            .retain(|_, (_, queued)| now.duration_since(*queued) <= ttl);
+        let expired = before - self.pending.len();
+        if expired > 0 {
+            self.expired_updates += expired as u64;
+            #[cfg(feature = "telemetry")]
+            for _ in 0..expired {
+                crate::tel::record_pending_expired();
+            }
         }
     }
 
@@ -198,6 +234,7 @@ impl RemoteLink {
     /// attempts delivery. Transport failures are absorbed: the region
     /// stays queued.
     fn buffer_region(&mut self, handle: u64, region: Rect) {
+        self.expire_stale();
         if !self.pending.contains_key(&handle) && self.pending.len() >= self.pending_cap {
             // Bounded buffer: evict the oldest queued handle. Its region
             // is stale-but-k-anonymous on the server; we only lose
@@ -209,7 +246,11 @@ impl RemoteLink {
                 crate::tel::record_pending_drop();
             }
         }
-        if self.pending.insert(handle, region).is_some() {
+        if self
+            .pending
+            .insert(handle, (region, Instant::now()))
+            .is_some()
+        {
             // Latest-wins coalescing: a queued region for this user was
             // replaced before it ever reached the server. Invisible in
             // `pending.len()`, so it gets its own counter.
@@ -226,9 +267,10 @@ impl RemoteLink {
     /// Delivers queued cloaked updates until the buffer is empty or the
     /// transport fails. Returns how many were flushed.
     fn flush(&mut self) -> Result<usize, NetError> {
+        self.expire_stale();
         let mut flushed = 0usize;
         let result = loop {
-            let Some((&handle, &region)) = self.pending.iter().next() else {
+            let Some((&handle, &(region, _))) = self.pending.iter().next() else {
                 break Ok(flushed);
             };
             if let Err(e) = self.net.push_update(PrivateHandle(handle), region) {
@@ -279,13 +321,13 @@ impl ServerLink for RemoteLink {
                     stage: "net_flush",
                     error,
                 })?;
-                let entries = self
-                    .net
-                    .query_nn(pseudonym, region)
-                    .map_err(|error| LinkFailure {
-                        stage: "query",
-                        error,
-                    })?;
+                let entries =
+                    self.net
+                        .query_nn(pseudonym, region)
+                        .map_err(|error| LinkFailure {
+                            stage: "query",
+                            error,
+                        })?;
                 // Over a real socket the server's internal processing
                 // time is not reported back; the caller's measured round
                 // trip stands in for it.
@@ -311,6 +353,10 @@ impl ServerLink for RemoteLink {
     fn pending(&self) -> usize {
         self.pending.len()
     }
+
+    fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.net.set_deadline(deadline);
+    }
 }
 
 /// The one pipeline: a trusted [`Anonymizer`] in front of whatever
@@ -323,6 +369,9 @@ struct PipelineCore<P: PyramidStructure, L: ServerLink> {
     client: CasperClient,
     transmission: TransmissionModel,
     filters: FilterCount,
+    /// End-to-end budget granted to each request at pipeline entry.
+    /// `None` (the default) leaves operations unbounded.
+    request_budget: Option<Duration>,
 }
 
 impl<P: PyramidStructure, L: ServerLink> PipelineCore<P, L> {
@@ -333,6 +382,15 @@ impl<P: PyramidStructure, L: ServerLink> PipelineCore<P, L> {
             client: CasperClient::new(),
             transmission: TransmissionModel::default(),
             filters: FilterCount::Four,
+            request_budget: None,
+        }
+    }
+
+    /// Arms the link with this request's deadline (when a budget is
+    /// configured) so every downstream hop can drop doomed work early.
+    fn arm_deadline(&mut self) {
+        if let Some(budget) = self.request_budget {
+            self.link.set_deadline(Some(Instant::now() + budget));
         }
     }
 
@@ -351,6 +409,7 @@ impl<P: PyramidStructure, L: ServerLink> PipelineCore<P, L> {
     /// The single dispatch behind [`Engine::execute`] for both
     /// assemblies.
     fn execute(&mut self, req: Request) -> Response {
+        self.arm_deadline();
         match req {
             Request::Register { uid, profile, pos } => {
                 let s = self.anonymizer.register(uid, profile, pos);
@@ -377,7 +436,9 @@ impl<P: PyramidStructure, L: ServerLink> PipelineCore<P, L> {
                 uid,
                 filters,
                 category,
-            } => Response::Outcome(self.query(uid, filters.unwrap_or(self.filters), category, false)),
+            } => {
+                Response::Outcome(self.query(uid, filters.unwrap_or(self.filters), category, false))
+            }
             Request::QueryNnPrivate { uid } => {
                 Response::Outcome(self.query(uid, self.filters, None, true))
             }
@@ -401,6 +462,7 @@ impl<P: PyramidStructure, L: ServerLink> PipelineCore<P, L> {
         private_data: bool,
     ) -> Option<QueryOutcome> {
         let trace_id = mint_trace_id();
+        self.arm_deadline();
         let t0 = Instant::now();
         let query = self.anonymizer.cloak_query(uid)?;
         let anonymizer_time = t0.elapsed();
@@ -559,13 +621,20 @@ impl<P: PyramidStructure> Casper<P> {
     /// A private NN query over *private* data ("where is my nearest
     /// buddy?"), end to end.
     pub fn query_nn_private(&mut self, uid: UserId) -> Option<EndToEndAnswer> {
-        self.core.query(uid, self.core.filters, None, true)?.answered()
+        self.core
+            .query(uid, self.core.filters, None, true)?
+            .answered()
     }
 
     /// A public (administrator) count query over the private store: goes
     /// straight to the server, bypassing the anonymizer (Figure 1).
     pub fn admin_count(&self, area: &Rect) -> RangeAnswer {
-        match self.core.link.plane.execute(Request::AdminCount { area: *area }) {
+        match self
+            .core
+            .link
+            .plane
+            .execute(Request::AdminCount { area: *area })
+        {
             Response::Count(ans) => ans,
             _ => unreachable!("the plane always counts"),
         }
@@ -604,7 +673,11 @@ impl<P: PyramidStructure> Casper<P> {
     /// Enables or disables the server-tier candidate cache (on by
     /// default when the `qp-cache` feature is compiled in).
     pub fn with_query_cache(self, enabled: bool) -> Self {
-        self.core.link.plane.write().set_query_cache_enabled(enabled);
+        self.core
+            .link
+            .plane
+            .write()
+            .set_query_cache_enabled(enabled);
         self
     }
 
@@ -670,6 +743,27 @@ impl<P: PyramidStructure> RemoteCasper<P> {
     /// Overrides the pending-update buffer bound.
     pub fn with_pending_cap(mut self, cap: usize) -> Self {
         self.core.link.pending_cap = cap.max(1);
+        self
+    }
+
+    /// Bounds how long a cloaked update may wait in the pending buffer.
+    /// Entries older than `ttl` are dropped as stale (counted in
+    /// [`RemoteCasper::expired_updates`]) instead of delivered — after a
+    /// long outage the user has moved on, and replaying ancient regions
+    /// only adds load to a recovering server. Privacy is unaffected:
+    /// the server keeps the previous (still k-anonymous) region.
+    pub fn with_pending_ttl(mut self, ttl: Duration) -> Self {
+        self.core.link.pending_ttl = Some(ttl);
+        self
+    }
+
+    /// Grants every operation an end-to-end deadline of `budget` from
+    /// pipeline entry. The deadline is stamped into outgoing frames (so
+    /// the server sheds doomed work), bounds the client's retry loop
+    /// (see [`NetError::GaveUp`]), and expires queued work at every
+    /// downstream hop.
+    pub fn with_request_budget(mut self, budget: Duration) -> Self {
+        self.core.request_budget = Some(budget);
         self
     }
 
@@ -741,6 +835,12 @@ impl<P: PyramidStructure> RemoteCasper<P> {
     /// Highest pending-queue depth observed so far.
     pub fn pending_high_water(&self) -> usize {
         self.core.link.pending_high_water
+    }
+
+    /// Queued updates dropped because they outlived the pending TTL
+    /// (see [`RemoteCasper::with_pending_ttl`]).
+    pub fn expired_updates(&self) -> u64 {
+        self.core.link.expired_updates
     }
 
     /// Read access to the anonymizer (harnesses, tests).
@@ -968,6 +1068,7 @@ mod tests {
                 jitter: 0.2,
             },
             jitter_seed: 11,
+            ..ClientConfig::default()
         }
     }
 

@@ -106,6 +106,30 @@ impl RetryPolicy {
         let factor = 1.0 + jitter * (2.0 * jitter_rng.next_f64() - 1.0);
         Duration::from_secs_f64((capped * factor).max(0.0))
     }
+
+    /// Deadline-aware retry gate: the (jittered) delay before retry
+    /// number `retry`, or `None` when the remaining request budget cannot
+    /// cover the sleep *plus* one more attempt's worth of `attempt_cost`
+    /// (its worst-case timeout). Retrying past that point only burns the
+    /// budget on work whose answer will arrive dead — the caller should
+    /// give up immediately and surface the remaining budget instead.
+    ///
+    /// `remaining == None` means the request is unbounded and the gate
+    /// reduces to [`RetryPolicy::delay_for`]. Deterministic given the
+    /// jitter stream: the draw is consumed whether or not the retry fits.
+    pub fn delay_within(
+        &self,
+        retry: u32,
+        remaining: Option<Duration>,
+        attempt_cost: Duration,
+        jitter_rng: &mut SplitMix64,
+    ) -> Option<Duration> {
+        let delay = self.delay_for(retry, jitter_rng);
+        match remaining {
+            None => Some(delay),
+            Some(budget) => (delay + attempt_cost <= budget).then_some(delay),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -165,5 +189,39 @@ mod tests {
     fn no_retry_fails_fast() {
         assert_eq!(RetryPolicy::no_retry().attempts(), 1);
         assert_eq!(RetryPolicy::default().attempts(), 7);
+    }
+
+    #[test]
+    fn delay_within_stops_when_budget_cannot_cover_attempt() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base_delay: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_delay: Duration::from_secs(1),
+            jitter: 0.0,
+        };
+        let mut rng = SplitMix64::new(1);
+        let cost = Duration::from_millis(50);
+        // Unbounded: always retries.
+        assert_eq!(
+            p.delay_within(0, None, cost, &mut rng),
+            Some(Duration::from_millis(10))
+        );
+        // Plenty of budget: 10ms sleep + 50ms attempt fits in 100ms.
+        assert!(p
+            .delay_within(0, Some(Duration::from_millis(100)), cost, &mut rng)
+            .is_some());
+        // Exactly enough budget fits...
+        assert!(p
+            .delay_within(0, Some(Duration::from_millis(60)), cost, &mut rng)
+            .is_some());
+        // ...one millisecond less does not.
+        assert!(p
+            .delay_within(0, Some(Duration::from_millis(59)), cost, &mut rng)
+            .is_none());
+        // Later retries sleep longer, so the same budget stops fitting.
+        assert!(p
+            .delay_within(3, Some(Duration::from_millis(100)), cost, &mut rng)
+            .is_none());
     }
 }

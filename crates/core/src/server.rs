@@ -11,6 +11,8 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use casper_geometry::{Point, Rect};
+#[cfg(feature = "qp-cache")]
+use casper_grid::CellVersionTable;
 use casper_index::{Entry, ObjectId, RTree, SpatialIndex, UniformGrid};
 #[cfg(feature = "qp-cache")]
 use casper_qp::cache::{
@@ -23,8 +25,6 @@ use casper_qp::{
     private_nn_private_data, private_nn_public_data, private_range_public_data, CandidateList,
     FilterCount, PrivateBoundMode, RangeAnswer,
 };
-#[cfg(feature = "qp-cache")]
-use casper_grid::CellVersionTable;
 
 /// A public-target category (gas stations, restaurants, hospitals, ...),
 /// so clients can ask for their nearest target *of a kind*.
@@ -66,6 +66,10 @@ pub struct CasperServer {
     /// the cache is disabled at runtime (answers are recomputed).
     #[cfg(feature = "qp-cache")]
     cache: Option<ServerCache>,
+    /// Brownout knob: optional cap on candidate-list sizes (the
+    /// nearest candidates are kept). `None` disables the cap.
+    #[cfg(feature = "overload")]
+    candidate_cap: Option<usize>,
 }
 
 /// The server-tier caching state: one [`CandidateCache`] shared by every
@@ -113,6 +117,8 @@ impl CasperServer {
             private: UniformGrid::new(64),
             #[cfg(feature = "qp-cache")]
             cache: Some(ServerCache::new(CacheConfig::default())),
+            #[cfg(feature = "overload")]
+            candidate_cap: None,
         }
     }
 
@@ -283,6 +289,8 @@ impl CasperServer {
         };
         #[cfg(not(feature = "qp-cache"))]
         let list = private_nn_public_data(&self.public, cloaked_query, filters);
+        #[cfg(feature = "overload")]
+        let list = self.cap_candidates(list, cloaked_query);
         let processing = start.elapsed();
         let stats = QueryStats {
             processing,
@@ -322,6 +330,8 @@ impl CasperServer {
             Some(idx) => private_nn_public_data(idx, cloaked_query, filters),
             None => CandidateList::empty(cloaked_query),
         };
+        #[cfg(feature = "overload")]
+        let list = self.cap_candidates(list, cloaked_query);
         let processing = start.elapsed();
         let stats = QueryStats {
             processing,
@@ -353,6 +363,8 @@ impl CasperServer {
         };
         #[cfg(not(feature = "qp-cache"))]
         let list = private_nn_private_data(&self.private, cloaked_query, filters, mode, 0.0);
+        #[cfg(feature = "overload")]
+        let list = self.cap_candidates(list, cloaked_query);
         let processing = start.elapsed();
         let stats = QueryStats {
             processing,
@@ -372,12 +384,9 @@ impl CasperServer {
                 Some(c) => {
                     cached_range_over_private(&c.cache, &c.private_versions, &self.private, area)
                 }
-                None => CandidateList::from_parts(
-                    self.private.range(area),
-                    *area,
-                    Vec::new(),
-                    *area,
-                ),
+                None => {
+                    CandidateList::from_parts(self.private.range(area), *area, Vec::new(), *area)
+                }
             };
             RangeAnswer::from_overlapping(list.candidates, area)
         }
@@ -389,16 +398,21 @@ impl CasperServer {
     /// public store.
     pub fn range_public(&self, cloaked_query: &Rect, radius: f64) -> CandidateList {
         #[cfg(feature = "qp-cache")]
-        if let Some(c) = &self.cache {
-            return cached_range_public(
+        let list = match &self.cache {
+            Some(c) => cached_range_public(
                 &c.cache,
                 &c.public_versions,
                 &self.public,
                 cloaked_query,
                 radius,
-            );
-        }
-        private_range_public_data(&self.public, cloaked_query, radius)
+            ),
+            None => private_range_public_data(&self.public, cloaked_query, radius),
+        };
+        #[cfg(not(feature = "qp-cache"))]
+        let list = private_range_public_data(&self.public, cloaked_query, radius);
+        #[cfg(feature = "overload")]
+        let list = self.cap_candidates(list, cloaked_query);
+        list
     }
 
     /// Builds the expected-count density surface over the private store
@@ -421,6 +435,41 @@ impl CasperServer {
         }
         #[cfg(not(feature = "qp-cache"))]
         casper_qp::DensityGrid::build(&self.private, resolution)
+    }
+}
+
+/// Brownout knobs (compiled with the `overload` feature, on by default).
+#[cfg(feature = "overload")]
+impl CasperServer {
+    /// Caps candidate lists at `cap` entries, keeping the candidates
+    /// nearest the cloaked query region. Candidate count drives the
+    /// downstream transmission and refinement cost, so the cap sheds
+    /// server and network load during brownout. It trades *answer
+    /// quality* — a distant true answer may be trimmed in adversarial
+    /// geometries — never privacy: cloaked regions are untouched, so
+    /// (k, A_min) guarantees hold at every cap. `None` (the default)
+    /// disables the cap; `Some(0)` is treated as `Some(1)`.
+    pub fn set_candidate_cap(&mut self, cap: Option<usize>) {
+        self.candidate_cap = cap;
+    }
+
+    /// The current candidate cap (`None` = uncapped).
+    pub fn candidate_cap(&self) -> Option<usize> {
+        self.candidate_cap
+    }
+
+    /// Applies the cap to a freshly computed candidate list.
+    fn cap_candidates(&self, mut list: CandidateList, focus: &Rect) -> CandidateList {
+        if let Some(cap) = self.candidate_cap {
+            let cap = cap.max(1);
+            if list.candidates.len() > cap {
+                let center = focus.center();
+                list.candidates
+                    .sort_by(|a, b| a.mbr.min_dist(center).total_cmp(&b.mbr.min_dist(center)));
+                list.candidates.truncate(cap);
+            }
+        }
+        list
     }
 }
 

@@ -78,6 +78,12 @@ pub struct ShardedAnonymizer {
     parked: Mutex<VecDeque<(UserId, Point)>>,
     parked_cap: usize,
     dropped_parked: AtomicU64,
+    /// Fault injection: per-shard artificial stall (µs) applied before
+    /// the shard lock is taken. Zero (the default) is a no-op. Lets
+    /// overload tests make one shard arbitrarily slow — without killing
+    /// it — to prove a stalled shard cannot drag down its siblings.
+    #[cfg(feature = "faults")]
+    stalls: Vec<AtomicU64>,
 }
 
 /// Default bound on the parked-update queue of a [`ShardedAnonymizer`].
@@ -134,8 +140,34 @@ impl ShardedAnonymizer {
             parked: Mutex::new(VecDeque::new()),
             parked_cap: DEFAULT_PARKED_CAP,
             dropped_parked: AtomicU64::new(0),
+            #[cfg(feature = "faults")]
+            stalls: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
         }
     }
+
+    /// Fault injection: every subsequent operation that takes shard
+    /// `idx`'s lock first sleeps for `delay`. `Duration::ZERO` removes
+    /// the stall. Unlike [`ShardedAnonymizer::quarantine_shard`] the
+    /// shard stays *online* — this models a slow shard (lock convoy, GC
+    /// pause, noisy neighbour), the overload-control failure mode, not a
+    /// dead one.
+    #[cfg(feature = "faults")]
+    pub fn set_shard_delay(&self, idx: usize, delay: std::time::Duration) {
+        self.stalls[idx].store(delay.as_micros() as u64, Ordering::Release);
+    }
+
+    /// Applies the injected stall for shard `idx`, if any.
+    #[cfg(feature = "faults")]
+    fn stall(&self, idx: usize) {
+        let us = self.stalls[idx].load(Ordering::Acquire);
+        if us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
+    }
+
+    #[cfg(not(feature = "faults"))]
+    #[inline]
+    fn stall(&self, _idx: usize) {}
 
     /// Overrides the parked-update queue bound.
     pub fn with_parked_cap(mut self, cap: usize) -> Self {
@@ -239,6 +271,7 @@ impl ShardedAnonymizer {
         let idx = self.shard_index(cell);
         let local = self.to_local(cell, pos);
         let lp = self.local_profile(cell, profile);
+        self.stall(idx as usize);
         let stats = self.shards[idx as usize].write().register(uid, lp, local);
         self.populations[idx as usize].fetch_add(1, Ordering::AcqRel);
         self.homes.write().insert(uid, (idx, profile));
@@ -270,7 +303,10 @@ impl ShardedAnonymizer {
         }
         let local = self.to_local(cell, pos);
         if idx == home {
-            return self.shards[idx as usize].write().update_location(uid, local);
+            self.stall(idx as usize);
+            return self.shards[idx as usize]
+                .write()
+                .update_location(uid, local);
         }
         // Cross-shard migration: deregister + register (shards are
         // equal-sized, so the rescaled profile is identical). The two
@@ -412,6 +448,7 @@ impl ShardedAnonymizer {
                 return Some(self.escalate(cell, global_profile));
             }
             let local_answer = {
+                self.stall(home as usize);
                 let shard = self.shards[home as usize].read();
                 shard
                     .profile_of(uid)
@@ -469,7 +506,10 @@ impl ShardedAnonymizer {
 
     /// Structural cost across all shards (cells materialised).
     pub fn maintained_cells(&self) -> usize {
-        self.shards.iter().map(|s| s.read().maintained_cells()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.read().maintained_cells())
+            .sum()
     }
 
     /// Deep structural self-check across the whole sharded tier, used by
@@ -499,7 +539,9 @@ impl ShardedAnonymizer {
                 return Err(format!("{uid} points at nonexistent shard {home}"));
             };
             if shard.read().position_of(uid).is_none() {
-                return Err(format!("{uid} points at shard {home}, which does not hold it"));
+                return Err(format!(
+                    "{uid} points at shard {home}, which does not hold it"
+                ));
             }
         }
         Ok(())

@@ -273,10 +273,7 @@ mod tests {
         ));
         let crc = crate::net::crc32(&buf);
         buf.put_u32(crc);
-        assert!(matches!(
-            load(buf.freeze()),
-            Err(SnapshotError::Truncated)
-        ));
+        assert!(matches!(load(buf.freeze()), Err(SnapshotError::Truncated)));
     }
 
     #[test]

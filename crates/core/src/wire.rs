@@ -33,6 +33,15 @@ const TAG_QUERY: u8 = 2;
 const TAG_CANDIDATE: u8 = 3;
 const TAG_ACK: u8 = 4;
 const TAG_METRICS_REQ: u8 = 5;
+const TAG_OVERLOADED: u8 = 6;
+
+/// Byte offset of the deadline-budget field inside a region record: the
+/// tail padding (bytes 56..64) of update/query records, unused by every
+/// other field. Like the sequence number before it, parking the budget in
+/// former padding keeps the record exactly [`RECORD_BYTES`] long, so the
+/// Section 6.3 cost model is unchanged. A zero budget means "no deadline"
+/// — which is also what pre-deadline senders naturally emit.
+const BUDGET_OFFSET: usize = 56;
 
 /// Marker distinguishing a [`Message::MetricsText`] payload from a
 /// candidate-list count prefix. Record tags are small and candidate counts
@@ -68,6 +77,15 @@ pub enum Message {
     /// The server's metrics page in the Prometheus text exposition format,
     /// answering a [`Message::MetricsRequest`].
     MetricsText(String),
+    /// The server shed the request instead of executing it (admission
+    /// queue full, deadline already expired, or brownout). The client
+    /// should back off for at least the carried hint before retrying —
+    /// and must treat this as a *complete* answer, never as license to
+    /// weaken the cloak and try again.
+    Overloaded {
+        /// Suggested back-off before the next attempt, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// Acknowledgement of a [`Message::CloakedUpdate`].
     UpdateAck {
         /// The server instance's boot identifier. A client seeing this
@@ -168,6 +186,9 @@ pub fn encode(msg: &Message) -> Bytes {
         Message::MetricsRequest => {
             put_record(&mut buf, TAG_METRICS_REQ, 0, &Rect::unit(), 0);
         }
+        Message::Overloaded { retry_after_ms } => {
+            put_record(&mut buf, TAG_OVERLOADED, *retry_after_ms, &Rect::unit(), 0);
+        }
         Message::MetricsText(text) => {
             buf.put_u32(METRICS_MAGIC);
             buf.put_u32(text.len() as u32);
@@ -214,6 +235,7 @@ pub fn decode(mut bytes: Bytes) -> Result<Message, WireError> {
             }),
             TAG_ACK => Ok(Message::UpdateAck { boot_id: id, seq }),
             TAG_METRICS_REQ => Ok(Message::MetricsRequest),
+            TAG_OVERLOADED => Ok(Message::Overloaded { retry_after_ms: id }),
             t => Err(WireError::BadTag(t)),
         };
     }
@@ -238,6 +260,43 @@ pub fn decode(mut bytes: Bytes) -> Result<Message, WireError> {
     Ok(Message::Candidates(entries))
 }
 
+/// Encodes a message, stamping a deadline budget (remaining milliseconds;
+/// `0` = no deadline) into the tail padding of update/query records.
+///
+/// Messages with no region record to carry it (candidate lists, acks,
+/// metrics) are returned unchanged — answers flow *back* to the client,
+/// which owns the deadline. Decoding a stamped frame with [`decode`]
+/// yields the same [`Message`] as an unstamped one; the budget is
+/// recovered separately with [`frame_budget`] so pre-deadline peers
+/// interoperate unchanged.
+pub fn encode_with_budget(msg: &Message, budget_ms: u64) -> Bytes {
+    let bytes = encode(msg);
+    if budget_ms == 0
+        || !matches!(
+            msg,
+            Message::CloakedUpdate { .. } | Message::CloakedQuery { .. }
+        )
+    {
+        return bytes;
+    }
+    let mut buf = BytesMut::from(&bytes[..]);
+    buf[BUDGET_OFFSET..BUDGET_OFFSET + 8].copy_from_slice(&budget_ms.to_be_bytes());
+    buf.freeze()
+}
+
+/// Reads the deadline budget (remaining milliseconds) stamped into a
+/// single-record update/query frame; `0` means "no deadline" — which is
+/// what every frame from a sender that never stamps budgets reads as.
+pub fn frame_budget(payload: &[u8]) -> u64 {
+    if payload.len() == RECORD_BYTES && matches!(payload[0], TAG_UPDATE | TAG_QUERY) {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&payload[BUDGET_OFFSET..BUDGET_OFFSET + 8]);
+        u64::from_be_bytes(raw)
+    } else {
+        0
+    }
+}
+
 /// Number of 64-byte records a message occupies — feed this to
 /// [`crate::TransmissionModel::time_for_records`].
 pub fn record_count(msg: &Message) -> usize {
@@ -245,7 +304,8 @@ pub fn record_count(msg: &Message) -> usize {
         Message::CloakedUpdate { .. }
         | Message::CloakedQuery { .. }
         | Message::UpdateAck { .. }
-        | Message::MetricsRequest => 1,
+        | Message::MetricsRequest
+        | Message::Overloaded { .. } => 1,
         Message::Candidates(entries) => entries.len(),
         // Metrics pages are free-form text on the ops channel; bill them
         // as the number of records their bytes would occupy.
@@ -299,7 +359,7 @@ mod tests {
     #[test]
     fn update_ack_round_trips() {
         let msg = Message::UpdateAck {
-            boot_id: 0xB007_1D,
+            boot_id: 0x00B0_071D,
             seq: 17,
         };
         let bytes = encode(&msg);
@@ -383,6 +443,36 @@ mod tests {
         let bytes = encode(&msg);
         let cut = bytes.slice(0..bytes.len() - 8);
         assert_eq!(decode(cut), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn overloaded_round_trips() {
+        let msg = Message::Overloaded {
+            retry_after_ms: 150,
+        };
+        let bytes = encode(&msg);
+        assert_eq!(bytes.len(), RECORD_BYTES);
+        assert_eq!(record_count(&msg), 1);
+        assert_eq!(decode(bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn budget_rides_the_record_padding() {
+        let msg = Message::CloakedQuery {
+            pseudonym: 7,
+            region: rect(),
+        };
+        let stamped = encode_with_budget(&msg, 1234);
+        // Same size, same decoded message — the budget lives in padding.
+        assert_eq!(stamped.len(), RECORD_BYTES);
+        assert_eq!(decode(stamped.clone()).unwrap(), msg);
+        assert_eq!(frame_budget(&stamped), 1234);
+        // Unstamped frames read as "no deadline".
+        assert_eq!(frame_budget(&encode(&msg)), 0);
+        // Non-region frames never carry a budget.
+        let ack = Message::UpdateAck { boot_id: 1, seq: 2 };
+        assert_eq!(encode_with_budget(&ack, 99), encode(&ack));
+        assert_eq!(frame_budget(&encode(&ack)), 0);
     }
 
     #[test]

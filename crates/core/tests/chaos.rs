@@ -56,6 +56,7 @@ fn chaos_client_config() -> ClientConfig {
             jitter: 0.2,
         },
         jitter_seed: 0x7E57,
+        ..ClientConfig::default()
     }
 }
 

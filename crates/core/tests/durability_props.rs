@@ -16,17 +16,33 @@ fn wal_op() -> impl Strategy<Value = WalOp> {
     let pos = (0.0..=1.0f64, 0.0..=1.0f64).prop_map(|(x, y)| Point::new(x, y));
     let profile = (1u32..64, 0.0..=1.0f64).prop_map(|(k, a)| Profile::new(k, a));
     prop_oneof![
-        (any::<u64>(), profile.clone(), pos.clone())
-            .prop_map(|(u, profile, pos)| WalOp::Register { uid: UserId(u), profile, pos }),
-        (any::<u64>(), pos).prop_map(|(u, pos)| WalOp::UpdateLocation { uid: UserId(u), pos }),
-        (any::<u64>(), profile)
-            .prop_map(|(u, profile)| WalOp::UpdateProfile { uid: UserId(u), profile }),
+        (any::<u64>(), profile.clone(), pos.clone()).prop_map(|(u, profile, pos)| {
+            WalOp::Register {
+                uid: UserId(u),
+                profile,
+                pos,
+            }
+        }),
+        (any::<u64>(), pos).prop_map(|(u, pos)| WalOp::UpdateLocation {
+            uid: UserId(u),
+            pos
+        }),
+        (any::<u64>(), profile).prop_map(|(u, profile)| WalOp::UpdateProfile {
+            uid: UserId(u),
+            profile
+        }),
         any::<u64>().prop_map(|u| WalOp::Deregister { uid: UserId(u) }),
     ]
 }
 
 fn user_shards() -> impl Strategy<Value = Vec<Vec<(UserId, Profile, Point)>>> {
-    let record = (any::<u64>(), 1u32..32, 0.0..=1.0f64, 0.0..=1.0f64, 0.0..=1.0f64)
+    let record = (
+        any::<u64>(),
+        1u32..32,
+        0.0..=1.0f64,
+        0.0..=1.0f64,
+        0.0..=1.0f64,
+    )
         .prop_map(|(u, k, a, x, y)| (UserId(u), Profile::new(k, a), Point::new(x, y)));
     prop::collection::vec(prop::collection::vec(record, 0..12), 0..5)
 }

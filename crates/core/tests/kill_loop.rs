@@ -101,7 +101,10 @@ where
     got.sort_unstable();
     let mut want: Vec<u64> = model.keys().copied().collect();
     want.sort_unstable();
-    assert_eq!(got, want, "seed {seed}: recovered population differs from oracle");
+    assert_eq!(
+        got, want,
+        "seed {seed}: recovered population differs from oracle"
+    );
     for (&uid, &(profile, pos)) in model {
         let got_pos = svc.position_of(UserId(uid)).expect("oracle user missing");
         assert_eq!(
@@ -149,7 +152,7 @@ where
 
     for round in 0..rounds {
         let (d, report) =
-            DurableAnonymizer::recover(storage.clone(), cfg, || make()).expect("recovery failed");
+            DurableAnonymizer::recover(storage.clone(), cfg, &make).expect("recovery failed");
         assert!(
             report.last_seq as usize >= acked,
             "seed {seed} round {round}: acked op lost — {} acked, recovered only to seq {}",
@@ -201,8 +204,11 @@ where
     // Final clean restart: full verification and an independent replica
     // cross-check through `same_population`.
     let (d, report) =
-        DurableAnonymizer::recover(storage, cfg, || make()).expect("final recovery failed");
-    assert!(report.last_seq as usize >= acked, "seed {seed}: acked op lost at final restart");
+        DurableAnonymizer::recover(storage, cfg, &make).expect("final recovery failed");
+    assert!(
+        report.last_seq as usize >= acked,
+        "seed {seed}: acked op lost at final restart"
+    );
     oplog.truncate(report.last_seq as usize);
     let model = fold(&oplog);
     assert_matches_model(seed, &d, &model);

@@ -26,11 +26,11 @@ mod cloak;
 mod complete;
 pub mod hash;
 mod profile;
-mod user_entry;
 pub mod render;
 mod stats;
 #[cfg(feature = "telemetry")]
 mod tel;
+mod user_entry;
 mod versions;
 
 pub use adaptive::AdaptivePyramid;

@@ -48,7 +48,9 @@ macro_rules! maintenance_counter {
         static $cell: OnceLock<Arc<Counter>> = OnceLock::new();
         let v = $value;
         if v > 0 {
-            $cell.get_or_init(|| registry().counter($name, $help)).add(v);
+            $cell
+                .get_or_init(|| registry().counter($name, $help))
+                .add(v);
         }
     }};
 }

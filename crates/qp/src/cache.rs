@@ -464,13 +464,9 @@ mod tests {
     }
 
     fn small_world() -> BruteForce {
-        BruteForce::from_entries((0..25).map(|i| {
-            pt(
-                i,
-                (i % 5) as f64 / 5.0 + 0.1,
-                (i / 5) as f64 / 5.0 + 0.1,
-            )
-        }))
+        BruteForce::from_entries(
+            (0..25).map(|i| pt(i, (i % 5) as f64 / 5.0 + 0.1, (i / 5) as f64 / 5.0 + 0.1)),
+        )
     }
 
     #[test]

@@ -163,12 +163,8 @@ mod tests {
         let a = Entry::point(ObjectId(3), Point::new(0.5, 0.5));
         let b = Entry::point(ObjectId(1), Point::new(0.9, 0.1));
         let c = Entry::new(ObjectId(3), Rect::from_coords(0.1, 0.1, 0.2, 0.2));
-        let list = CandidateList::from_parts(
-            vec![a, b, a, c, b],
-            Rect::unit(),
-            Vec::new(),
-            Rect::unit(),
-        );
+        let list =
+            CandidateList::from_parts(vec![a, b, a, c, b], Rect::unit(), Vec::new(), Rect::unit());
         // Sorted by id, then by MBR bits; duplicates gone.
         assert_eq!(list.candidates.len(), 3);
         assert_eq!(list.candidates[0], b);

@@ -55,7 +55,10 @@ impl MetricsHttp {
 
     /// Serves `/metrics` from `registry` and `/flight` from `flight` — the
     /// standard wiring for [`crate::Telemetry`].
-    pub fn serve_telemetry(bind: SocketAddr, tel: &'static crate::Telemetry) -> std::io::Result<Self> {
+    pub fn serve_telemetry(
+        bind: SocketAddr,
+        tel: &'static crate::Telemetry,
+    ) -> std::io::Result<Self> {
         Self::spawn(
             bind,
             Arc::new(move |path: &str| {
@@ -96,9 +99,7 @@ fn serve_one(mut stream: TcpStream, page: &PageFn) {
     stream
         .set_read_timeout(Some(Duration::from_millis(500)))
         .ok();
-    stream
-        .set_write_timeout(Some(Duration::from_secs(2)))
-        .ok();
+    stream.set_write_timeout(Some(Duration::from_secs(2))).ok();
     // Read until the end of the request head (or timeout); only the
     // request line matters.
     let mut buf = Vec::with_capacity(512);

@@ -174,7 +174,11 @@ impl Histogram {
 
     /// `(p50, p95, p99)` in one call — the exposition's summary triple.
     pub fn summary(&self) -> (u64, u64, u64) {
-        (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99))
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
     }
 }
 

@@ -102,7 +102,12 @@ impl Registry {
     }
 
     /// The counter named `name` with the given labels.
-    pub fn counter_with(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Arc<Counter> {
+    pub fn counter_with(
+        &self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Counter> {
         self.get_or_insert(
             make_key(name, labels),
             help,
@@ -120,7 +125,12 @@ impl Registry {
     }
 
     /// The gauge named `name` with the given labels.
-    pub fn gauge_with(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+    pub fn gauge_with(
+        &self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Gauge> {
         self.get_or_insert(
             make_key(name, labels),
             help,
@@ -221,11 +231,7 @@ impl Registry {
         let inner = self.inner.read().unwrap();
         let mut parts = Vec::new();
         for (key, metric) in &inner.metrics {
-            let id = json_escape(&format!(
-                "{}{}",
-                key.name,
-                label_str(&key.labels, None)
-            ));
+            let id = json_escape(&format!("{}{}", key.name, label_str(&key.labels, None)));
             match metric {
                 Metric::Counter(c) => parts.push(format!("\"{id}\": {}", c.get())),
                 Metric::Gauge(g) => parts.push(format!("\"{id}\": {}", g.get())),

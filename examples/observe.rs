@@ -42,6 +42,7 @@ fn lossy_client() -> ClientConfig {
             jitter: 0.2,
         },
         jitter_seed: 0x0B5E,
+        ..ClientConfig::default()
     }
 }
 
@@ -129,9 +130,7 @@ fn main() {
     for (i, pos) in generator.tick(1.0, &mut rng) {
         remote.move_user(UserId(i as u64), pos);
     }
-    let outcome = remote
-        .query_nn(UserId(0))
-        .expect("user 0 is registered");
+    let outcome = remote.query_nn(UserId(0)).expect("user 0 is registered");
     match outcome {
         QueryOutcome::Degraded {
             trace_id,

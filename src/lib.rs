@@ -62,19 +62,19 @@ pub mod prelude {
         AdaptiveAnonymizer, Anonymizer, AnonymizerKind, BasicAnonymizer, CloakedQuery,
         CloakedUpdate, Pseudonym,
     };
-    pub use casper_core::{
-        AnonymizerService, Casper, CasperClient, CasperServer, Category, ContinuousNn,
-        ContinuousSet, Engine, EndToEndAnswer, EndToEndBreakdown, FilterPolicy, ParallelEngine,
-        PrivateHandle, Request, Response, ShardedAnonymizer, StreamingAnonymizer,
-        TransmissionModel,
-    };
-    #[cfg(feature = "qp-cache")]
-    pub use casper_core::{CacheConfig, CacheStats};
     #[cfg(feature = "durability")]
     pub use casper_core::{
         recover_sharded_engine, DirStorage, DurabilityConfig, DurabilityError, DurableAnonymizer,
         MemStorage, RecoveryReport,
     };
+    pub use casper_core::{
+        AnonymizerService, Casper, CasperClient, CasperServer, Category, ContinuousNn,
+        ContinuousSet, EndToEndAnswer, EndToEndBreakdown, Engine, FilterPolicy, ParallelEngine,
+        PrivateHandle, Request, Response, ShardedAnonymizer, StreamingAnonymizer,
+        TransmissionModel,
+    };
+    #[cfg(feature = "qp-cache")]
+    pub use casper_core::{CacheConfig, CacheStats};
     pub use casper_geometry::{Point, Rect};
     pub use casper_grid::{
         AdaptivePyramid, CellId, CloakedRegion, CompletePyramid, Profile, PyramidStructure, UserId,

@@ -83,7 +83,8 @@ fn eight_threads_with_shard_chaos_keep_every_guarantee() {
             // Each owner registers a disjoint uid range, then loops
             // interleaved update / cloak / query commands over it.
             for u in 0..UIDS_PER_OWNER {
-                let profile = Profile::new(rng.gen_range(2..=8), if u % 3 == 0 { 1e-3 } else { 0.0 });
+                let profile =
+                    Profile::new(rng.gen_range(2..=8), if u % 3 == 0 { 1e-3 } else { 0.0 });
                 let resp = engine.submit(Request::Register {
                     uid: UserId(base + u),
                     profile,
@@ -124,7 +125,7 @@ fn eight_threads_with_shard_chaos_keep_every_guarantee() {
                 );
 
                 let e_after = epoch.load(Ordering::SeqCst);
-                if e_before == e_after && e_before % 2 == 0 {
+                if e_before == e_after && e_before.is_multiple_of(2) {
                     // Stable window: no parked updates can make this uid's
                     // position stale, so the region must cover it.
                     let p = engine.anonymizer().position_of(uid).expect("position");
@@ -214,7 +215,12 @@ fn batch_entry_points_agree_with_the_request_plane_under_contention() {
             let mut rng = StdRng::seed_from_u64(70 + f);
             for _ in 0..20 {
                 let batch: Vec<(UserId, Point)> = (0..250)
-                    .map(|_| (UserId(rng.gen_range(0..500)), Point::new(rng.gen(), rng.gen())))
+                    .map(|_| {
+                        (
+                            UserId(rng.gen_range(0..500)),
+                            Point::new(rng.gen(), rng.gen()),
+                        )
+                    })
                     .collect();
                 assert_eq!(engine.update_batch(batch), 250);
             }

@@ -53,12 +53,8 @@ fn commuter_pos(c: u64, t: usize) -> Point {
 #[test]
 fn incremental_equals_from_scratch_every_tick() {
     let mut casper = Casper::new(BasicAnonymizer::basic(8));
-    casper.load_targets((0..800u64).map(|i| {
-        (
-            ObjectId(i),
-            Point::new(coord(i), coord(i ^ 0xBEEF)),
-        )
-    }));
+    casper
+        .load_targets((0..800u64).map(|i| (ObjectId(i), Point::new(coord(i), coord(i ^ 0xBEEF)))));
 
     // A co-located stationary cluster (shared cloaked region) ...
     for i in 0..CLUSTER {
@@ -114,10 +110,7 @@ fn incremental_equals_from_scratch_every_tick() {
         // Incremental tick, then the from-scratch oracle per user.
         let incremental = casper.tick_continuous(&mut set);
         for (uid, got) in incremental {
-            let snapshot = casper
-                .query_nn(uid)
-                .expect("registered user")
-                .exact;
+            let snapshot = casper.query_nn(uid).expect("registered user").exact;
             assert_eq!(
                 got.map(|e| entry_bits(&e)),
                 snapshot.map(|e| entry_bits(&e)),
@@ -152,12 +145,9 @@ fn incremental_equals_from_scratch_every_tick() {
 #[test]
 fn stationary_set_follows_target_churn_exactly() {
     let mut casper = Casper::new(BasicAnonymizer::basic(8));
-    casper.load_targets((0..200u64).map(|i| {
-        (
-            ObjectId(i),
-            Point::new(coord(i ^ 0x77), coord(i ^ 0x99)),
-        )
-    }));
+    casper.load_targets(
+        (0..200u64).map(|i| (ObjectId(i), Point::new(coord(i ^ 0x77), coord(i ^ 0x99)))),
+    );
     for i in 0..5u64 {
         casper.register_user(
             UserId(i),

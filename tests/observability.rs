@@ -36,6 +36,7 @@ fn chaos_client_config() -> ClientConfig {
             jitter: 0.2,
         },
         jitter_seed: 0x0B5E,
+        ..ClientConfig::default()
     }
 }
 
@@ -106,7 +107,10 @@ fn chaos_workload_populates_all_core_metrics() {
             }
         }
     }
-    assert!(answered > 0, "chaos retry budget should answer most queries");
+    assert!(
+        answered > 0,
+        "chaos retry budget should answer most queries"
+    );
 
     // HTTP scrape mid-chaos: the listener serves the same page the wire
     // protocol does.
@@ -141,7 +145,11 @@ fn chaos_workload_populates_all_core_metrics() {
     for (kind, count) in [("drop", tally.drops), ("disconnect", tally.disconnects)] {
         if count > 0 {
             let c = reg.counter_with("casper_chaos_injected_total", "", &[("kind", kind)]);
-            assert!(c.get() >= count, "{kind}: registry {} < tally {count}", c.get());
+            assert!(
+                c.get() >= count,
+                "{kind}: registry {} < tally {count}",
+                c.get()
+            );
         }
     }
     assert!(
@@ -171,7 +179,7 @@ fn chaos_workload_populates_all_core_metrics() {
 /// transition, and leaves flight-recorder events.
 #[test]
 fn shard_quarantine_flips_gauges_and_flight_records() {
-    let mut s = ShardedAnonymizer::new(7, 1); // 4 shards
+    let s = ShardedAnonymizer::new(7, 1); // 4 shards
     for i in 0..12u64 {
         s.register(
             UserId(1000 + i),
@@ -222,6 +230,7 @@ fn degraded_query_leaves_flight_trace() {
             write_timeout: Duration::from_millis(200),
             retry: RetryPolicy::no_retry(),
             jitter_seed: 3,
+            ..ClientConfig::default()
         },
     );
     for i in 0..5u64 {

@@ -14,6 +14,7 @@
 //! identically to a fresh cache-off server holding the final store.
 
 #![cfg(feature = "qp-cache")]
+#![allow(clippy::type_complexity)]
 
 use std::sync::Arc;
 
@@ -48,7 +49,11 @@ fn coord(seed: u64) -> f64 {
 fn query_region(round: usize, thread: usize, i: usize) -> Rect {
     // Half the queries are shared across all threads (same region =>
     // shared cache entries under contention), half are per-thread.
-    let tag = if i % 2 == 0 { 0 } else { thread as u64 + 1 };
+    let tag = if i.is_multiple_of(2) {
+        0
+    } else {
+        thread as u64 + 1
+    };
     let seed = (round as u64) << 32 | tag << 16 | (i as u64);
     let c = Point::new(coord(seed), coord(seed ^ 0xABCD));
     let w = 0.01 + 0.2 * coord(seed ^ 0x1111);
@@ -69,8 +74,12 @@ fn private_region(round: usize, handle: u64) -> Rect {
 
 /// Round `r`'s mutation batch, identical for the engine and the oracle.
 fn mutation_batch(round: usize) -> (Vec<(ObjectId, Point)>, Vec<(PrivateHandle, Rect)>) {
-    let targets = (0..60u64).map(|id| (ObjectId(id), target_pos(round, id))).collect();
-    let regions = (0..20u64).map(|h| (PrivateHandle(h), private_region(round, h))).collect();
+    let targets = (0..60u64)
+        .map(|id| (ObjectId(id), target_pos(round, id)))
+        .collect();
+    let regions = (0..20u64)
+        .map(|h| (PrivateHandle(h), private_region(round, h)))
+        .collect();
     (targets, regions)
 }
 
@@ -201,7 +210,10 @@ fn racing_mutations_leave_no_stale_entries_behind() {
             let got: Vec<_> = entries.iter().map(entry_bits).collect();
             let (expect, _) = fresh.nn_public(&region, FilterCount::One);
             let expect: Vec<_> = expect.candidates.iter().map(entry_bits).collect();
-            assert_eq!(got, expect, "stale entry survived the storm at thread {t}, query {i}");
+            assert_eq!(
+                got, expect,
+                "stale entry survived the storm at thread {t}, query {i}"
+            );
         }
     }
 }

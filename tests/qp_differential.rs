@@ -41,11 +41,19 @@ fn assert_lists_identical(cached: &CandidateList, plain: &CandidateList) {
     let a: Vec<_> = cached.candidates.iter().map(entry_bits).collect();
     let b: Vec<_> = plain.candidates.iter().map(entry_bits).collect();
     assert_eq!(a, b, "candidate entries diverge");
-    assert_eq!(rect_bits(&cached.a_ext), rect_bits(&plain.a_ext), "A_EXT diverges");
+    assert_eq!(
+        rect_bits(&cached.a_ext),
+        rect_bits(&plain.a_ext),
+        "A_EXT diverges"
+    );
     let fa: Vec<_> = cached.filters.iter().map(entry_bits).collect();
     let fb: Vec<_> = plain.filters.iter().map(entry_bits).collect();
     assert_eq!(fa, fb, "filter entries diverge");
-    assert_eq!(rect_bits(&cached.dep), rect_bits(&plain.dep), "dependency region diverges");
+    assert_eq!(
+        rect_bits(&cached.dep),
+        rect_bits(&plain.dep),
+        "dependency region diverges"
+    );
 }
 
 fn assert_ranges_identical(cached: &RangeAnswer, plain: &RangeAnswer) {
